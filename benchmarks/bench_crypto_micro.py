@@ -1,0 +1,63 @@
+"""Microbenchmarks of the functional crypto substrate.
+
+Not a paper figure — these measure the pure-Python primitives (AES block,
+GCM seal, GHASH, SHA-1, split-counter seed/pad path) so regressions in the
+functional layer are visible.  They use pytest-benchmark's normal
+multi-round statistics, unlike the single-shot figure benches.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import ctr_transform
+from repro.crypto.gcm import AESGCM
+from repro.crypto.ghash import ghash
+from repro.crypto.mac import gcm_block_mac
+from repro.crypto.sha1 import sha1
+
+KEY = bytes(range(16))
+BLOCK64 = bytes(range(64)) + bytes(range(192, 256)) * 0
+DATA64 = (b"\xa5" * 64)
+
+
+def test_aes_block_encrypt(benchmark):
+    aes = AES128(KEY)
+    out = benchmark(aes.encrypt_block, b"\x00" * 16)
+    assert len(out) == 16
+
+
+def test_aes_block_decrypt(benchmark):
+    aes = AES128(KEY)
+    ct = aes.encrypt_block(b"\x11" * 16)
+    out = benchmark(aes.decrypt_block, ct)
+    assert out == b"\x11" * 16
+
+
+def test_ctr_block_transform(benchmark):
+    aes = AES128(KEY)
+    out = benchmark(ctr_transform, aes, 0x1000, 42, DATA64)
+    assert ctr_transform(aes, 0x1000, 42, out) == DATA64
+
+
+def test_gcm_seal_64B(benchmark):
+    gcm = AESGCM(KEY)
+    result = benchmark(gcm.seal, b"\x00" * 12, DATA64)
+    assert len(result.ciphertext) == 64
+
+
+def test_gcm_block_mac(benchmark):
+    aes = AES128(KEY)
+    h = aes.encrypt_block(b"\x00" * 16)
+    tag = benchmark(gcm_block_mac, aes, h, 0x2000, 7, DATA64, 64)
+    assert len(tag) == 8
+
+
+def test_ghash_64B(benchmark):
+    h = AES128(KEY).encrypt_block(b"\x00" * 16)
+    out = benchmark(ghash, h, b"", DATA64)
+    assert len(out) == 16
+
+
+def test_sha1_64B(benchmark):
+    out = benchmark(sha1, DATA64)
+    assert len(out) == 20

@@ -1,0 +1,87 @@
+"""Figure 10 — sensitivity of the combined schemes to authentication
+requirements, parallel tree authentication, and MAC size.
+
+Paper: starting from the default configuration (Commit, parallel, 64-bit
+MACs — marked by arrows in the figure), each parameter is varied alone.
+The new combined scheme (Split+GCM) stays ahead of every prior combination
+across the whole range, and each of its two components (split counters,
+GCM) provides a consistent benefit.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import FigureTable, results_path
+from repro.auth.policies import AuthPolicy
+from repro.core.config import (
+    mono_gcm_config,
+    mono_sha_config,
+    split_gcm_config,
+    split_sha_config,
+    xom_sha_config,
+)
+from repro.workloads.spec2k import MEMORY_BOUND
+from conftest import bench_apps
+
+SCHEMES = [
+    ("Split+GCM", split_gcm_config),
+    ("Mono+GCM", mono_gcm_config),
+    ("Split+SHA", split_sha_config),
+    ("Mono+SHA", mono_sha_config),
+    ("XOM+SHA", xom_sha_config),
+]
+
+VARIANTS = [
+    ("lazy", dict(auth_policy=AuthPolicy.LAZY)),
+    ("commit*", dict(auth_policy=AuthPolicy.COMMIT)),
+    ("safe", dict(auth_policy=AuthPolicy.SAFE)),
+    ("parallel*", dict(parallel_auth=True)),
+    ("nonpar.", dict(parallel_auth=False)),
+    ("128b MAC", dict(mac_bits=128)),
+    ("64b MAC*", dict(mac_bits=64)),
+    ("32b MAC", dict(mac_bits=32)),
+]
+
+
+def run_figure10(sims):
+    apps = bench_apps(MEMORY_BOUND)
+    table = FigureTable(title="Figure 10: sensitivity of combined schemes "
+                              "(averages; * marks the default)")
+    values = {}
+    for scheme_name, factory in SCHEMES:
+        for variant_name, overrides in VARIANTS:
+            config = factory(**overrides)
+            avg = statistics.mean(
+                sims.normalized_ipc(app, config) for app in apps
+            )
+            table.set(scheme_name, variant_name, avg)
+            values[(scheme_name, variant_name)] = avg
+    return table, values
+
+
+def test_fig10_sensitivity(sims, benchmark):
+    table, values = benchmark.pedantic(lambda: run_figure10(sims),
+                                       rounds=1, iterations=1)
+    table.print()
+    table.save(results_path("fig10_sensitivity.txt"))
+    benchmark.extra_info.update({
+        f"{s}:{v}": round(x, 4) for (s, v), x in values.items()
+    })
+    variant_names = [v for v, _ in VARIANTS]
+    # The new combined scheme leads under every variant.
+    for variant in variant_names:
+        best = max(values[(s, variant)] for s, _ in SCHEMES)
+        assert values[("Split+GCM", variant)] == best, (
+            f"Split+GCM should lead under {variant}"
+        )
+    # Both components help consistently: split >= mono within GCM, and
+    # GCM >= SHA within split, for every variant.
+    for variant in variant_names:
+        assert (values[("Split+GCM", variant)]
+                >= values[("Mono+GCM", variant)] - 0.005)
+        assert (values[("Split+GCM", variant)]
+                >= values[("Split+SHA", variant)] - 0.005)
+    # Smaller MACs raise tree arity and reduce traffic: 32b >= 128b.
+    assert (values[("Split+GCM", "32b MAC")]
+            >= values[("Split+GCM", "128b MAC")] - 0.005)

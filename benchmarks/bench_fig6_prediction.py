@@ -1,0 +1,129 @@
+"""Figure 6 — split counters vs counter prediction + pad precomputation.
+
+Paper, Figure 6(a), three groups over the 21-benchmark average:
+
+1. counter-cache hit (+half-miss) rate for split vs the prediction rate of
+   the Shi-et-al. scheme (prediction slightly ahead);
+2. fraction of timely pad pre-computations — prediction with one AES engine
+   produces timely pads for only ~61% of decryptions (it issues N=5 pads
+   per miss); two engines reach ~96%, slightly ahead of split;
+3. normalized IPC — Pred(2Eng) lands at about split's performance because
+   its 64-bit counters fetched with every block burn the bandwidth its
+   timely pads saved.
+
+Figure 6(b): over time, split's counter-cache hit rate stays flat while the
+prediction rate decays as per-block counters within a page drift apart.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import FigureTable, results_path
+from repro.core.config import (
+    baseline_config,
+    prediction_config,
+    split_config,
+)
+from repro.sim.processor import simulate
+from repro.workloads.spec2k import MEMORY_BOUND, spec_trace
+from conftest import TRACE_REFS, WARMUP_REFS, bench_apps
+
+
+def run_figure6a(sims):
+    apps = bench_apps(MEMORY_BOUND)
+    table = FigureTable(title="Figure 6a: split counters vs counter "
+                              "prediction (averages)")
+    hit_rates, pred_rates = [], []
+    timely = {"Split": [], "Pred": [], "Pred(2Eng)": []}
+    nipc = {"Split": [], "Pred": [], "Pred(2Eng)": []}
+    for app in apps:
+        split_run = sims.run(app, split_config())
+        stats = split_run.memory.stats
+        cc = split_run.memory.counter_cache.stats
+        total = cc.accesses + stats.counter_half_misses
+        hits = cc.hits + stats.counter_half_misses
+        hit_rates.append(hits / total if total else 0.0)
+        timely["Split"].append(stats.pads.timely_rate)
+        nipc["Split"].append(sims.normalized_ipc(app, split_config()))
+
+        for label, engines in (("Pred", 1), ("Pred(2Eng)", 2)):
+            config = prediction_config(aes_engines=engines)
+            run = sims.run(app, config)
+            timely[label].append(run.memory.stats.pads.timely_rate)
+            nipc[label].append(sims.normalized_ipc(app, config))
+            if engines == 1:
+                pred_rates.append(run.memory.scheme.stats.prediction_rate)
+
+    table.set("CntCache hit+halfmiss", "Split", statistics.mean(hit_rates))
+    table.set("Prediction rate", "Pred", statistics.mean(pred_rates))
+    for label in ("Split", "Pred", "Pred(2Eng)"):
+        table.set("Timely pads", label, statistics.mean(timely[label]))
+        table.set("Normalized IPC", label, statistics.mean(nipc[label]))
+    summary = {
+        "cc_hit": statistics.mean(hit_rates),
+        "pred_rate": statistics.mean(pred_rates),
+        "timely_split": statistics.mean(timely["Split"]),
+        "timely_pred1": statistics.mean(timely["Pred"]),
+        "timely_pred2": statistics.mean(timely["Pred(2Eng)"]),
+        "nipc_split": statistics.mean(nipc["Split"]),
+        "nipc_pred1": statistics.mean(nipc["Pred"]),
+        "nipc_pred2": statistics.mean(nipc["Pred(2Eng)"]),
+    }
+    return table, summary
+
+
+def run_figure6b(app: str = "swim", intervals: int = 5):
+    """Marginal prediction-rate / hit-rate trend over execution intervals.
+
+    Deterministic traces make cumulative re-runs consistent, so the rate in
+    interval i is the difference between the cumulative runs of length i
+    and i-1.
+    """
+    table = FigureTable(title=f"Figure 6b: rate trend over time ({app})")
+    prev_pred = (0, 0)
+    prev_cc = (0, 0)
+    for i in range(1, intervals + 1):
+        refs = TRACE_REFS * i
+        trace = spec_trace(app, refs)
+        pred_run = simulate(prediction_config(), trace)
+        split_run = simulate(split_config(), trace)
+        ps = pred_run.memory.scheme.stats
+        cs = split_run.memory.counter_cache.stats
+        dp = (ps.correct - prev_pred[0], ps.predictions - prev_pred[1])
+        dc = (cs.hits - prev_cc[0], cs.accesses - prev_cc[1])
+        prev_pred = (ps.correct, ps.predictions)
+        prev_cc = (cs.hits, cs.accesses)
+        table.set("Pred rate", f"T{i}", dp[0] / dp[1] if dp[1] else 0.0)
+        table.set("CC hit", f"T{i}", dc[0] / dc[1] if dc[1] else 0.0)
+    return table
+
+
+def test_fig6a_prediction_comparison(sims, benchmark):
+    table, s = benchmark.pedantic(lambda: run_figure6a(sims),
+                                  rounds=1, iterations=1)
+    table.print()
+    table.save(results_path("fig6a_prediction.txt"))
+    benchmark.extra_info.update({k: round(v, 4) for k, v in s.items()})
+    # One AES engine cannot keep up with 5x pad precomputation...
+    assert s["timely_pred1"] < s["timely_split"] - 0.1
+    # ...two engines can (paper: 96% vs split's slightly lower rate).
+    assert s["timely_pred2"] > 0.85
+    # Extra 64-bit counter traffic offsets prediction's timely pads:
+    # Pred(2Eng) ends up at or below split's performance.
+    assert s["nipc_split"] >= s["nipc_pred2"] - 0.02
+    # A single engine is clearly worse than split.
+    assert s["nipc_split"] > s["nipc_pred1"] + 0.05
+
+
+def test_fig6b_prediction_trend(benchmark):
+    table = benchmark.pedantic(run_figure6b, rounds=1, iterations=1)
+    table.print()
+    table.save(results_path("fig6b_trend.txt"))
+    pred = table.row("Pred rate")
+    cc = table.row("CC hit")
+    # Split's hit rate stays flat (within a few points across intervals).
+    assert max(cc) - min(cc) < 0.1
+    # Prediction starts high (fresh counters are trivially predictable)
+    # and never recovers above its start once counters drift.
+    assert pred[0] >= max(pred[1:]) - 0.02

@@ -1,0 +1,60 @@
+"""Figure 7 — memory authentication schemes (no encryption).
+
+Paper: GCM authentication performs as well as (unrealistically fast)
+80-cycle SHA-1 and pulls far ahead as SHA-1 latency grows to realistic
+values — GCM's authentication pad overlaps the memory fetch so only the
+GHASH chain (a few cycles) lands after data arrival, while SHA-1's full
+latency starts when data arrives.  GCM's one weak spot is mcf, whose
+counter-cache misses add bus contention (GCM maintains per-block counters
+even without encryption).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import FigureTable, results_path
+from repro.core.config import gcm_auth_config, sha_auth_config
+from conftest import PLOTTED_APPS, bench_apps
+
+SHA_LATENCIES = (80, 160, 320, 640)
+
+
+def run_figure7(sims):
+    apps = bench_apps(PLOTTED_APPS)
+    table = FigureTable(title="Figure 7: Normalized IPC, memory "
+                              "authentication schemes")
+    averages = {}
+    configs = [("GCM", gcm_auth_config())] + [
+        (f"SHA-1 ({lat})", sha_auth_config(float(lat)))
+        for lat in SHA_LATENCIES
+    ]
+    for name, config in configs:
+        values = [sims.normalized_ipc(app, config) for app in apps]
+        for app, v in zip(apps, values):
+            table.set(name, app, v)
+        averages[name] = statistics.mean(values)
+        table.set(name, "Avg", averages[name])
+    return table, averages, apps
+
+
+def test_fig7_authentication(sims, benchmark):
+    table, averages, apps = benchmark.pedantic(
+        lambda: run_figure7(sims), rounds=1, iterations=1
+    )
+    table.print()
+    table.save(results_path("fig7_auth.txt"))
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in averages.items()}
+    )
+    # SHA-1 degrades monotonically with latency.
+    for a, b in zip(SHA_LATENCIES, SHA_LATENCIES[1:]):
+        assert averages[f"SHA-1 ({a})"] > averages[f"SHA-1 ({b})"]
+    # GCM is in the league of 80-cycle SHA-1 and clearly beats >= 160.
+    assert averages["GCM"] > averages["SHA-1 (160)"]
+    assert averages["GCM"] > averages["SHA-1 (320)"] + 0.05
+    assert averages["GCM"] > averages["SHA-1 (640)"] + 0.15
+    # mcf is GCM's worst case (counter-cache miss contention, per paper).
+    if "mcf" in apps:
+        gcm_mcf = table.get("GCM", "mcf")
+        assert gcm_mcf == min(table.get("GCM", a) for a in apps)

@@ -1,0 +1,134 @@
+"""Sections 4.2 / 6.1 — page re-encryption statistics and work ratio.
+
+The paper's in-text numbers for split counters:
+
+* split counters do only ~0.3% of the re-encryption work of 8-bit
+  monolithic counters (most pages advance far slower than the globally
+  fastest counter);
+* on average ~48% of a page's blocks are already on-chip when its
+  re-encryption triggers, halving the RSR's fetch work;
+* a page re-encryption takes ~5717 cycles, overlapped with execution;
+* at most ~3 page re-encryptions are in flight, so 8 RSRs never stall.
+
+The work ratio is computed from the measured per-block write-back
+distribution (the paper's methodology); the RSR timing numbers are
+measured directly by running split counters with 5-bit minors so that
+overflows actually occur inside the simulated window.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import (
+    FigureTable,
+    reencryption_work_ratio,
+    results_path,
+)
+from repro.core.config import mono_config, split_config
+from repro.sim.processor import simulate
+from repro.workloads.generators import WorkloadProfile, generate_trace
+from repro.workloads.spec2k import FAST_COUNTER_APPS, MB
+from conftest import TRACE_REFS, WARMUP_REFS, bench_apps
+
+
+def run_work_ratio(sims, apps):
+    """Split-vs-Mono8b re-encryption work from counter distributions."""
+    ratios = {}
+    for app in apps:
+        run = sims.run(app, mono_config(8))
+        scheme = run.memory.scheme
+        counters = dict(scheme._counters)
+        ratios[app] = reencryption_work_ratio(
+            counters,
+            minor_bits=7,
+            mono_bits=8,
+            blocks_per_page=64,
+            page_of=lambda addr: addr // 4096,
+            # a key change re-encrypts the whole physical memory
+            total_memory_blocks=run.memory.config.memory_size // 64,
+        )
+    return ratios
+
+
+def run_rsr_stats(sims, apps):
+    """Measured RSR behaviour with 5-bit minors (frequent overflows).
+
+    Alongside the SPEC-like apps (whose overflowing pages are the sparse
+    thrash pages), a dedicated ``hotpages`` workload rewrites a pool of
+    full 4KB pages under streaming churn, producing the paper's scenario:
+    pages with many materialized blocks, some resident on-chip when the
+    re-encryption triggers.
+    """
+    table = FigureTable(title="Page re-encryption statistics "
+                              "(split counters, 5-bit minors)")
+    rows = {}
+    hot_profile = WorkloadProfile(
+        name="hotpages", mean_gap=3.0, write_fraction=0.55,
+        w_hot=0.10, w_stream=0.10, w_random=0.0, w_pages=0.80,
+        w_thrash=0.0, hot_bytes=8 * 1024, stream_bytes=4 * MB,
+        random_bytes=64 * 1024, page_pool_pages=16, page_burst=24,
+        page_stride=32,  # one L2-way stride: pool pages conflict and
+                         # write back on every revisit
+    )
+    config = split_config(minor_bits=5, name="split-m5")
+    workloads = [(app, None) for app in apps] + [("hotpages", hot_profile)]
+    for name, profile in workloads:
+        if profile is None:
+            run = sims.run(name, config)
+        else:
+            trace = generate_trace(profile, TRACE_REFS)
+            hot_config = split_config(minor_bits=2, name="split-m2")
+            run = simulate(hot_config, trace, warmup_refs=WARMUP_REFS)
+        st = run.memory.stats.reencryption
+        table.set("page re-encryptions", name, st.page_reencryptions)
+        table.set("on-chip fraction", name, st.onchip_fraction)
+        table.set("mean cycles/page", name, st.mean_page_cycles)
+        table.set("max concurrent RSRs", name, st.max_concurrent_rsrs)
+        table.set("RSR stalls", name, st.rsr_stalls)
+        rows[name] = st
+    return table, rows
+
+
+def test_reencryption_work_ratio(sims, benchmark):
+    apps = bench_apps(FAST_COUNTER_APPS)
+    ratios = benchmark.pedantic(lambda: run_work_ratio(sims, apps),
+                                rounds=1, iterations=1)
+    mean_ratio = statistics.mean(ratios.values())
+    print(f"\nSplit / Mono8b re-encryption work ratio: "
+          + ", ".join(f"{a}={r:.4f}" for a, r in ratios.items())
+          + f"; mean={mean_ratio:.4f} (paper: ~0.003)")
+    benchmark.extra_info["mean_work_ratio"] = round(mean_ratio, 5)
+    # Split counters must do far less re-encryption work than Mono8b —
+    # the paper reports 0.3%; anything below a few percent shows the
+    # better-than-worst-case effect clearly.
+    assert mean_ratio < 0.05
+    for app, ratio in ratios.items():
+        assert ratio < 0.2, f"{app}: work ratio {ratio} unexpectedly high"
+
+
+def test_rsr_page_reencryption(sims, benchmark):
+    apps = bench_apps(FAST_COUNTER_APPS)
+    table, rows = benchmark.pedantic(lambda: run_rsr_stats(sims, apps),
+                                     rounds=1, iterations=1)
+    table.print()
+    table.save(results_path("reencryption_stats.txt"))
+    total_pages = sum(st.page_reencryptions for st in rows.values())
+    assert total_pages > 0, "5-bit minors should overflow in-window"
+    benchmark.extra_info["total_page_reencryptions"] = total_pages
+    for app, st in rows.items():
+        # RSR overlap machinery keeps the processor running: with 8 RSRs
+        # and >4-bit minors the paper observes no stalls.
+        assert st.rsr_stalls == 0, f"{app}: unexpected RSR stalls"
+        assert st.max_concurrent_rsrs <= 8
+        if st.page_reencryptions:
+            # a page re-encryption is thousands, not millions, of cycles
+            assert st.mean_page_cycles < 50_000
+    hot = rows["hotpages"]
+    assert hot.page_reencryptions > 0
+    # The paper finds ~48% of page blocks already on-chip; the dense
+    # hot-pages workload must show a substantial on-chip fraction.
+    assert 0.1 < hot.onchip_fraction <= 1.0
+    assert hot.blocks_fetched > 0, (
+        "some page blocks should be fetched from memory by the RSR"
+    )

@@ -1,0 +1,84 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation (section 6).  Simulation runs are cached per (app, config,
+machine) within a pytest session so that e.g. the Figure 4 baseline runs
+are reused by Figures 5-10.
+
+Environment knobs:
+
+* ``REPRO_TRACE_REFS``   — memory references per trace (default 80000)
+* ``REPRO_WARMUP_REFS``  — cache warm-up prefix (default 30000)
+* ``REPRO_BENCH_APPS``   — comma-separated app subset, or "all"
+  (default: every app for the headline figures; each bench picks its own
+  default subset mirroring the apps the paper plots individually)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import SecureMemoryConfig, baseline_config
+from repro.sim.processor import SimResult, simulate
+from repro.workloads.spec2k import SPEC_APPS, spec_trace
+from repro.workloads.trace import Trace
+
+TRACE_REFS = int(os.environ.get("REPRO_TRACE_REFS", "80000"))
+WARMUP_REFS = int(os.environ.get("REPRO_WARMUP_REFS", "30000"))
+
+#: the applications the paper plots individually in Figures 4/7/9
+PLOTTED_APPS = (
+    "ammp", "applu", "apsi", "art", "equake", "gap", "mcf", "mgrid",
+    "parser", "swim", "twolf", "vortex", "vpr", "wupwise",
+)
+
+
+def bench_apps(default: tuple[str, ...] | None = None) -> tuple[str, ...]:
+    """Resolve the app list for a bench, honouring REPRO_BENCH_APPS."""
+    env = os.environ.get("REPRO_BENCH_APPS")
+    if env:
+        if env.strip().lower() == "all":
+            return SPEC_APPS
+        return tuple(a.strip() for a in env.split(",") if a.strip())
+    return default if default is not None else SPEC_APPS
+
+
+class SimulationCache:
+    """Session-wide memoization of traces and simulation runs."""
+
+    def __init__(self) -> None:
+        self._traces: dict[str, Trace] = {}
+        self._runs: dict[tuple, SimResult] = {}
+
+    def trace(self, app: str) -> Trace:
+        if app not in self._traces:
+            self._traces[app] = spec_trace(app, TRACE_REFS)
+        return self._traces[app]
+
+    def run(self, app: str, config: SecureMemoryConfig,
+            **kwargs) -> SimResult:
+        key = (app, config, tuple(sorted(kwargs.items())))
+        if key not in self._runs:
+            self._runs[key] = simulate(config, self.trace(app),
+                                       warmup_refs=WARMUP_REFS, **kwargs)
+        return self._runs[key]
+
+    def baseline(self, app: str, **kwargs) -> SimResult:
+        return self.run(app, baseline_config(), **kwargs)
+
+    def normalized_ipc(self, app: str, config: SecureMemoryConfig,
+                       **kwargs) -> float:
+        base = self.baseline(app, **kwargs)
+        run = self.run(app, config, **kwargs)
+        return run.ipc / base.ipc if base.ipc else 0.0
+
+
+_CACHE = SimulationCache()
+
+
+@pytest.fixture(scope="session")
+def sims() -> SimulationCache:
+    """The session-wide simulation cache."""
+    return _CACHE

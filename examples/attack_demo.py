@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Hardware-attack demonstration, including the counter-replay pitfall.
+
+Stages the paper's threat model against three configurations:
+
+* encryption only (Figure 4's world) — secrecy holds, integrity doesn't;
+* encryption + GCM data authentication *without* counter authentication —
+  the section 4.3 pitfall: rolling back an evicted counter block forces
+  pad reuse, silently leaking plaintext relationships;
+* the paper's full design with counters as Merkle-tree leaves — the same
+  attack is detected the moment the poisoned counter comes on-chip.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro import SecureMemorySystem, split_config, split_gcm_config
+from repro.attacks import (
+    counter_replay_attack,
+    replay_attack,
+    snoop_secrecy_attack,
+    spoof_attack,
+)
+from repro.crypto.ctr import xor_bytes
+
+
+def small_system(config):
+    """A system staged for the attack: tiny counter cache, small L2."""
+    return SecureMemorySystem(config, protected_bytes=512 * 1024,
+                              l2_size=4 * 1024, l2_assoc=2)
+
+
+def banner(text):
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    v2, v3 = b"\xaa" * 64, b"\x55" * 64
+
+    banner("Encryption only (no authentication)")
+    system = small_system(split_config(counter_cache_size=64,
+                                       counter_cache_assoc=1))
+    print(snoop_secrecy_attack(system, 0x8000, b"SECRET".ljust(64, b".")))
+    print(spoof_attack(system, 0x9000))
+    report = counter_replay_attack(system, 0, v2, v3,
+                                   scratch_base=128 * 1024)
+    print(report)
+    if report.succeeded:
+        leak = xor_bytes(report.evidence["ciphertext_v2"],
+                         report.evidence["ciphertext_v3"])
+        print(f"    snooper recovers pt2^pt3 = {leak[:8].hex()}... "
+              f"(expected {(xor_bytes(v2, v3))[:8].hex()}...)")
+
+    # Each staged attack below gets a fresh victim system: a detected
+    # attack leaves the DRAM image corrupted, and the real machine would
+    # have halted or taken corrective action at that point.
+    banner("GCM data authentication, counters NOT authenticated "
+           "(the section 4.3 flaw)")
+    flawed_config = split_gcm_config(counter_cache_size=64,
+                                     counter_cache_assoc=1,
+                                     authenticate_counters=False)
+    print(spoof_attack(small_system(flawed_config), 0x9000))  # caught
+    print(counter_replay_attack(small_system(flawed_config), 0, v2, v3,
+                                scratch_base=128 * 1024))     # NOT caught
+
+    banner("Full design: counters are Merkle leaves (the paper's fix)")
+    full_config = split_gcm_config(counter_cache_size=64,
+                                   counter_cache_assoc=1)
+    print(spoof_attack(small_system(full_config), 0x9000))
+    print(replay_attack(small_system(full_config), 0xA000,
+                        b"old".ljust(64, b"\0"),
+                        b"new".ljust(64, b"\0"), replay_code_block=True))
+    print(counter_replay_attack(small_system(full_config), 0, v2, v3,
+                                scratch_base=128 * 1024))
+
+
+if __name__ == "__main__":
+    main()

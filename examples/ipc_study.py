@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""IPC study: compare secure-memory schemes on a workload of your choice.
+
+A miniature of the paper's Figure 4/9 experiments: pick a SPEC-like
+workload, simulate the baseline and a set of schemes on the identical
+trace, and print normalized IPC plus the microarchitectural reasons
+behind each number (counter-cache hit rate, timely pads, bus pressure).
+
+Run:  python examples/ipc_study.py [app] [refs]
+      python examples/ipc_study.py mcf 80000
+"""
+
+import sys
+
+from repro.core import (
+    baseline_config,
+    direct_config,
+    mono_config,
+    mono_sha_config,
+    split_config,
+    split_gcm_config,
+)
+from repro.sim import simulate
+from repro.workloads import SPEC_APPS, spec_trace
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    warmup = refs // 3
+    if app not in SPEC_APPS:
+        raise SystemExit(f"unknown app {app!r}; choose from "
+                         f"{', '.join(SPEC_APPS)}")
+
+    print(f"workload: {app}, {refs} memory references "
+          f"({warmup} warm-up)\n")
+    trace = spec_trace(app, refs)
+    baseline = simulate(baseline_config(), trace, warmup_refs=warmup)
+    print(f"baseline: IPC={baseline.ipc:.3f}, "
+          f"{baseline.l2_misses / baseline.instructions * 1000:.1f} L2 "
+          f"misses per kilo-instruction, bus utilization "
+          f"{baseline.memory.bus.utilization(baseline.cycles):.0%}\n")
+
+    schemes = [split_config(), mono_config(64), direct_config(),
+               split_gcm_config(), mono_sha_config()]
+    header = (f"{'scheme':<12} {'norm. IPC':>9} {'overhead':>9} "
+              f"{'ctr hit':>8} {'timely pads':>12} {'bus util':>9}")
+    print(header)
+    print("-" * len(header))
+    for config in schemes:
+        result = simulate(config, trace, warmup_refs=warmup)
+        nipc = result.ipc / baseline.ipc
+        memory = result.memory
+        counter_hit = (f"{memory.counter_cache.stats.hit_rate:.0%}"
+                       if memory.counter_cache else "-")
+        timely = (f"{memory.stats.pads.timely_rate:.0%}"
+                  if memory.stats.pads.pad_requests else "-")
+        print(f"{config.name:<12} {nipc:>9.3f} {1 - nipc:>8.1%} "
+              f"{counter_hit:>8} {timely:>12} "
+              f"{memory.bus.utilization(result.cycles):>9.0%}")
+
+    print("\nReading the table: split counters keep the counter-cache hit "
+          "rate high and pads timely,\nso their overhead stays near the "
+          "baseline; monolithic 64-bit counters thrash the counter\ncache; "
+          "direct AES serializes decryption after every fetch; the "
+          "combined Split+GCM\nadds authentication for a few points more, "
+          "while Mono+SHA pays the full SHA-1 latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure memory that encrypts, authenticates, and detects.
+
+Builds the paper's full design — split-counter AES encryption, GCM
+authentication, a Merkle tree over data and counters — writes some secrets
+through it, shows that the DRAM image is opaque ciphertext, and
+demonstrates that tampering with that image is detected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IntegrityViolation, SecureMemorySystem, split_gcm_config
+
+
+def main() -> None:
+    # One megabyte of protected memory behind a 16KB on-chip cache.
+    memory = SecureMemorySystem(split_gcm_config(),
+                                protected_bytes=1 << 20,
+                                l2_size=16 * 1024)
+
+    # 1. Ordinary reads and writes, byte-granular.
+    memory.write(0x1000, b"attack at dawn")
+    memory.write(0x2345, (1234567).to_bytes(8, "little"))
+    assert memory.read(0x1000, 14) == b"attack at dawn"
+    assert int.from_bytes(memory.read(0x2345, 8), "little") == 1234567
+    print("[1] read/write through the secure memory: OK")
+
+    # 2. What the bus snooper sees: ciphertext, not the secret.
+    memory.flush()  # push dirty state to DRAM
+    dram_image = memory.dram.peek(0x1000 & ~63)
+    assert b"attack at dawn" not in dram_image
+    print(f"[2] DRAM image of the secret block: {dram_image[:16].hex()}... "
+          "(ciphertext)")
+
+    # 3. An active attacker flips one bit in DRAM.
+    memory.l2.invalidate(0x1000 & ~63)  # victim will re-fetch from DRAM
+    tampered = bytearray(dram_image)
+    tampered[0] ^= 0x01
+    memory.dram.poke(0x1000 & ~63, bytes(tampered))
+    try:
+        memory.read(0x1000, 14)
+        raise SystemExit("tampering went UNDETECTED — this is a bug")
+    except IntegrityViolation as exc:
+        print(f"[3] tampering detected by the Merkle tree: {exc}")
+
+    # 4. Inspect what the machinery did.
+    print(f"[4] stats: {memory.stats.reads} block fetches, "
+          f"{memory.stats.writes} write-backs, "
+          f"{memory.stats.counter_fetches} counter fetches, "
+          f"{memory.merkle.stats.mac_computations} MACs computed, "
+          f"{memory.integrity_violations} violation(s) detected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — split-counter memory encryption and GCM authentication.
+
+A from-scratch reproduction of Yan, Rogers, Englender, Solihin, Prvulovic,
+"Improving Cost, Performance, and Security of Memory Encryption and
+Authentication" (ISCA 2006).
+
+Layers:
+
+* :mod:`repro.crypto` — functional AES-128, GCM/GHASH, SHA-1 primitives.
+* :mod:`repro.memory` — caches, DRAM, and the processor-memory bus.
+* :mod:`repro.counters` — split / monolithic / global / predicted counters.
+* :mod:`repro.auth` — MAC schemes, the Merkle tree, strictness policies.
+* :mod:`repro.core` — the secure memory controller (functional layer).
+* :mod:`repro.engines` — crypto-engine timing models.
+* :mod:`repro.sim` — the trace-driven timing simulator (IPC results).
+* :mod:`repro.workloads` — SPEC CPU 2000-like synthetic traces.
+* :mod:`repro.attacks` — hardware-attack injectors and detection checks.
+* :mod:`repro.analysis` — table/series formatting for the benchmarks.
+
+Quick start::
+
+    from repro import SecureMemorySystem, split_gcm_config
+
+    memory = SecureMemorySystem(split_gcm_config(), protected_bytes=1 << 20)
+    memory.write(0x1000, b"secret payload")
+    assert memory.read(0x1000, 14) == b"secret payload"
+"""
+
+from repro.core import (
+    AuthMode,
+    CounterOrg,
+    EncryptionMode,
+    PRESETS,
+    SecureMemoryConfig,
+    SecureMemorySystem,
+    baseline_config,
+    direct_config,
+    gcm_auth_config,
+    mono_config,
+    mono_gcm_config,
+    mono_sha_config,
+    prediction_config,
+    sha_auth_config,
+    split_config,
+    split_gcm_config,
+    split_sha_config,
+    xom_sha_config,
+)
+from repro.auth import AuthPolicy, IntegrityViolation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthMode",
+    "AuthPolicy",
+    "CounterOrg",
+    "EncryptionMode",
+    "IntegrityViolation",
+    "PRESETS",
+    "SecureMemoryConfig",
+    "SecureMemorySystem",
+    "__version__",
+    "baseline_config",
+    "direct_config",
+    "gcm_auth_config",
+    "mono_config",
+    "mono_gcm_config",
+    "mono_sha_config",
+    "prediction_config",
+    "sha_auth_config",
+    "split_config",
+    "split_gcm_config",
+    "split_sha_config",
+    "xom_sha_config",
+]

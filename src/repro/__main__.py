@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate --app mcf --scheme split+gcm [--refs N]`` — run one timing
+  simulation and print normalized IPC plus the memory-system statistics.
+* ``schemes`` — list the named configuration presets.
+* ``apps`` — list the SPEC CPU 2000-like workloads.
+* ``attack [--no-counter-auth]`` — stage the section-4.3 counter-replay
+  attack and report detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import PRESETS, SecureMemorySystem, split_gcm_config
+from repro.sim import simulate
+from repro.workloads import SPEC_APPS, spec_trace
+
+
+def _cmd_schemes(_args) -> int:
+    for name, config in PRESETS.items():
+        print(f"{name:<14} encryption={config.encryption.value:<8} "
+              f"counters={config.counter_org.value:<10} "
+              f"auth={config.auth.value}")
+    return 0
+
+
+def _cmd_apps(_args) -> int:
+    print(" ".join(SPEC_APPS))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.scheme not in PRESETS:
+        print(f"unknown scheme {args.scheme!r}; see `python -m repro "
+              f"schemes`", file=sys.stderr)
+        return 2
+    trace = spec_trace(args.app, args.refs)
+    warmup = args.refs // 3
+    baseline = simulate(PRESETS["baseline"], trace, warmup_refs=warmup)
+    result = simulate(PRESETS[args.scheme], trace, warmup_refs=warmup)
+    nipc = result.ipc / baseline.ipc if baseline.ipc else 0.0
+    memory = result.memory
+    print(f"app={args.app} scheme={args.scheme} refs={args.refs}")
+    print(f"  baseline IPC        : {baseline.ipc:.3f}")
+    print(f"  scheme IPC          : {result.ipc:.3f}")
+    print(f"  normalized IPC      : {nipc:.3f}  (overhead {1 - nipc:.1%})")
+    print(f"  L2 misses           : {result.l2_misses}")
+    print(f"  bus utilization     : "
+          f"{memory.bus.utilization(result.cycles):.0%}")
+    if memory.counter_cache is not None:
+        print(f"  counter-cache hits  : "
+              f"{memory.counter_cache.stats.hit_rate:.1%}")
+    if memory.stats.pads.pad_requests:
+        print(f"  timely pads         : {memory.stats.pads.timely_rate:.1%}")
+    reenc = memory.stats.reencryption
+    if reenc.page_reencryptions:
+        print(f"  page re-encryptions : {reenc.page_reencryptions} "
+              f"(mean {reenc.mean_page_cycles:,.0f} cycles)")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import counter_replay_attack
+
+    config = split_gcm_config(
+        counter_cache_size=64, counter_cache_assoc=1,
+        authenticate_counters=not args.no_counter_auth,
+    )
+    system = SecureMemorySystem(config, protected_bytes=512 * 1024,
+                                l2_size=4 * 1024, l2_assoc=2)
+    report = counter_replay_attack(system, 0, b"\xaa" * 64, b"\x55" * 64,
+                                   scratch_base=128 * 1024)
+    print(report)
+    return 0 if report.defended else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Split-counter memory encryption + GCM authentication "
+                    "(ISCA 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("schemes", help="list configuration presets")
+    sub.add_parser("apps", help="list workloads")
+    sim = sub.add_parser("simulate", help="run one timing simulation")
+    sim.add_argument("--app", default="swim", choices=SPEC_APPS)
+    sim.add_argument("--scheme", default="split+gcm")
+    sim.add_argument("--refs", type=int, default=60_000)
+    atk = sub.add_parser("attack", help="stage the counter-replay attack")
+    atk.add_argument("--no-counter-auth", action="store_true",
+                     help="disable counter authentication (the 4.3 flaw)")
+    args = parser.parse_args(argv)
+    return {"schemes": _cmd_schemes, "apps": _cmd_apps,
+            "simulate": _cmd_simulate, "attack": _cmd_attack}[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

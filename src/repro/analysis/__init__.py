@@ -1,0 +1,16 @@
+"""Result aggregation and table rendering for the benchmark suite."""
+
+from repro.analysis.overflow import (
+    OverflowEstimate,
+    estimate_overflow,
+    reencryption_work_ratio,
+)
+from repro.analysis.tables import FigureTable, results_path
+
+__all__ = [
+    "FigureTable",
+    "OverflowEstimate",
+    "estimate_overflow",
+    "reencryption_work_ratio",
+    "results_path",
+]

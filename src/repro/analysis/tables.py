@@ -1,0 +1,82 @@
+"""Formatting helpers that render benchmark results as paper-style tables.
+
+Every benchmark in ``benchmarks/`` produces one of these tables and both
+prints it and appends it to ``benchmarks/results/``.  The formats mirror
+the paper's figures: applications as columns (memory-bound ones
+individually, plus the all-21 average), schemes as rows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureTable:
+    """A labelled grid of scheme x application values."""
+
+    title: str
+    row_labels: list[str] = field(default_factory=list)
+    col_labels: list[str] = field(default_factory=list)
+    values: dict[tuple[str, str], float] = field(default_factory=dict)
+    value_format: str = "{:.3f}"
+    notes: list[str] = field(default_factory=list)
+
+    def set(self, row: str, col: str, value: float) -> None:
+        if row not in self.row_labels:
+            self.row_labels.append(row)
+        if col not in self.col_labels:
+            self.col_labels.append(col)
+        self.values[(row, col)] = value
+
+    def get(self, row: str, col: str) -> float | None:
+        return self.values.get((row, col))
+
+    def row(self, row: str) -> list[float]:
+        return [self.values[(row, c)] for c in self.col_labels
+                if (row, c) in self.values]
+
+    def render(self) -> str:
+        """Plain-text table in the style of the paper's figures."""
+        col_width = max(
+            [8] + [len(c) for c in self.col_labels]
+        ) + 1
+        row_width = max([10] + [len(r) for r in self.row_labels]) + 1
+        lines = [self.title, "=" * len(self.title)]
+        header = " " * row_width + "".join(
+            f"{c:>{col_width}}" for c in self.col_labels
+        )
+        lines.append(header)
+        for r in self.row_labels:
+            cells = []
+            for c in self.col_labels:
+                v = self.values.get((r, c))
+                cells.append(
+                    f"{self.value_format.format(v):>{col_width}}"
+                    if v is not None else " " * (col_width - 1) + "-"
+                )
+            lines.append(f"{r:<{row_width}}" + "".join(cells))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.render() + "\n")
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def results_path(name: str) -> str:
+    """Canonical location for a benchmark's rendered table."""
+    root = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks",
+            "results"),
+    )
+    return os.path.join(root, name)

@@ -1,0 +1,28 @@
+"""Hardware-attack simulation: snooping, tampering, replay, counter replay."""
+
+from repro.attacks.base import AttackReport
+from repro.attacks.counter_replay import (
+    counter_replay_attack,
+    evict_counter_block,
+    evict_data_block,
+)
+from repro.attacks.replay import replay_attack
+from repro.attacks.snoop import (
+    BusSnooper,
+    pad_reuse_probe,
+    snoop_secrecy_attack,
+)
+from repro.attacks.tamper import splice_attack, spoof_attack
+
+__all__ = [
+    "AttackReport",
+    "BusSnooper",
+    "counter_replay_attack",
+    "evict_counter_block",
+    "evict_data_block",
+    "pad_reuse_probe",
+    "replay_attack",
+    "snoop_secrecy_attack",
+    "splice_attack",
+    "spoof_attack",
+]

@@ -1,0 +1,36 @@
+"""Shared attack-harness types.
+
+Each attack module stages a concrete hardware attack against a functional
+:class:`repro.core.secure_memory.SecureMemorySystem` and reports whether
+the system *detected* it (raised :class:`IntegrityViolation`) and whether
+the attack would have *succeeded* absent detection (e.g. leaked plaintext
+relationships through pad reuse).  The threat model is the paper's: the
+adversary fully controls the memory bus and DRAM (read, record, and modify
+anything below the processor chip) but cannot see or touch on-chip state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one staged attack."""
+
+    attack: str
+    detected: bool
+    succeeded: bool
+    details: str = ""
+    evidence: dict = field(default_factory=dict)
+
+    @property
+    def defended(self) -> bool:
+        """True when the system either detected or neutralized the attack."""
+        return self.detected or not self.succeeded
+
+    def __str__(self) -> str:
+        status = "DETECTED" if self.detected else (
+            "SUCCEEDED" if self.succeeded else "NEUTRALIZED"
+        )
+        return f"[{self.attack}] {status}: {self.details}"

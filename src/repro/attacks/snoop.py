@@ -1,0 +1,75 @@
+"""Passive snooping attacks on data secrecy.
+
+The snooper records every block that crosses the memory bus.  Against an
+unencrypted system it reads secrets directly.  Against encryption it probes
+for the two classic counter-mode failure modes:
+
+* **plaintext visibility** — ciphertext equals (or contains) plaintext;
+* **pad reuse** — two ciphertexts of the same address encrypted under the
+  same (key, counter) pair XOR to the XOR of their plaintexts, so knowing
+  either plaintext reveals the other.  This is the break that counter
+  rollback attacks try to induce.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackReport
+from repro.core.secure_memory import SecureMemorySystem
+from repro.crypto.ctr import xor_bytes
+
+
+class BusSnooper:
+    """Records DRAM images of chosen addresses over time."""
+
+    def __init__(self, system: SecureMemorySystem):
+        self.system = system
+        self._recordings: dict[int, list[bytes]] = {}
+
+    def record(self, address: int) -> bytes:
+        """Snapshot the current DRAM image of one block."""
+        image = self.system.dram.peek(address)
+        self._recordings.setdefault(address, []).append(image)
+        return image
+
+    def recordings(self, address: int) -> list[bytes]:
+        return list(self._recordings.get(address, []))
+
+
+def snoop_secrecy_attack(system: SecureMemorySystem, address: int,
+                         secret: bytes) -> AttackReport:
+    """Write a known secret, snoop the bus, and look for it in DRAM.
+
+    ``secret`` must be one block long.  The attack succeeds if the DRAM
+    image contains the plaintext (no or broken encryption).  Passive
+    snooping is never *detected* — there is nothing to detect — so the
+    report's ``detected`` is always False and defence means the secret
+    stayed unreadable.
+    """
+    system.write_block(address, secret)
+    system.flush()
+    image = system.dram.peek(address)
+    leaked = image == secret or secret in image
+    return AttackReport(
+        attack="snoop-secrecy",
+        detected=False,
+        succeeded=leaked,
+        details=(
+            "plaintext visible on the bus" if leaked
+            else "ciphertext reveals nothing"
+        ),
+        evidence={"dram_image": image, "secret": secret},
+    )
+
+
+def pad_reuse_probe(ciphertext_a: bytes, plaintext_a: bytes,
+                    ciphertext_b: bytes, plaintext_b: bytes) -> bool:
+    """Check whether two (plaintext, ciphertext) pairs share a pad.
+
+    Under counter mode, c = p XOR pad; a repeated pad makes
+    ``c_a XOR c_b == p_a XOR p_b``.  The attacker knows one plaintext and
+    uses this relation to recover the other — the exact exploit the
+    paper's counter-replay discussion (section 4.3) warns about.
+    """
+    return xor_bytes(ciphertext_a, ciphertext_b) == xor_bytes(
+        plaintext_a, plaintext_b
+    )

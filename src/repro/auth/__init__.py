@@ -1,0 +1,29 @@
+"""Memory authentication: MAC schemes, Merkle tree, and strictness policies."""
+
+from repro.auth.codes import (
+    TreeGeometry,
+    build_geometry,
+    merkle_levels_for_memory,
+)
+from repro.auth.merkle import IntegrityViolation, MerkleStats, MerkleTree
+from repro.auth.policies import (
+    COMMIT_HIDE_CYCLES,
+    AuthPolicy,
+    exposed_auth_latency,
+)
+from repro.auth.schemes import GCMMACScheme, MACScheme, SHAMACScheme
+
+__all__ = [
+    "AuthPolicy",
+    "COMMIT_HIDE_CYCLES",
+    "GCMMACScheme",
+    "IntegrityViolation",
+    "MACScheme",
+    "MerkleStats",
+    "MerkleTree",
+    "SHAMACScheme",
+    "TreeGeometry",
+    "build_geometry",
+    "exposed_auth_latency",
+    "merkle_levels_for_memory",
+]

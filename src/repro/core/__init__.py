@@ -1,0 +1,67 @@
+"""The paper's contribution: split counters + GCM auth, tied together."""
+
+from repro.core.config import (
+    AuthMode,
+    CounterOrg,
+    EncryptionMode,
+    PRESETS,
+    SecureMemoryConfig,
+    baseline_config,
+    direct_config,
+    gcm_auth_config,
+    make_counter_config,
+    mono_config,
+    mono_gcm_config,
+    mono_sha_config,
+    prediction_config,
+    sha_auth_config,
+    split_config,
+    split_gcm_config,
+    split_sha_config,
+    xom_sha_config,
+)
+from repro.core.response import (
+    ResponseMode,
+    SystemHalted,
+    ViolationResponder,
+    expected_forgery_stall_cycles,
+)
+from repro.core.rsr import RSR, RSRFile
+from repro.core.secure_memory import SecureMemorySystem, make_counter_scheme
+from repro.core.stats import (
+    PadStats,
+    ReencryptionStats,
+    SecureMemoryStats,
+)
+
+__all__ = [
+    "AuthMode",
+    "CounterOrg",
+    "EncryptionMode",
+    "PRESETS",
+    "PadStats",
+    "RSR",
+    "RSRFile",
+    "ResponseMode",
+    "SystemHalted",
+    "ViolationResponder",
+    "expected_forgery_stall_cycles",
+    "ReencryptionStats",
+    "SecureMemoryConfig",
+    "SecureMemoryStats",
+    "SecureMemorySystem",
+    "baseline_config",
+    "direct_config",
+    "gcm_auth_config",
+    "make_counter_config",
+    "make_counter_scheme",
+    "mono_config",
+    "mono_gcm_config",
+    "mono_sha_config",
+    "prediction_config",
+    "sha_auth_config",
+    "split_config",
+    "split_gcm_config",
+    "split_sha_config",
+    "xom_sha_config",
+]

@@ -1,0 +1,223 @@
+"""Configuration for secure-memory systems, with presets for every scheme
+the paper evaluates.
+
+A :class:`SecureMemoryConfig` names the encryption organization, the
+authentication scheme and its strictness, and the sizes of the on-chip
+structures.  The same config object drives both the functional layer
+(:class:`repro.core.secure_memory.SecureMemorySystem`) and the timing layer
+(:class:`repro.sim.timing_memory.TimingSecureMemory`), so an experiment is
+one config plus one workload.
+
+Presets mirror the labels used in Figures 4-10: ``split``, ``mono8b`` ..
+``mono64b``, ``direct``, ``prediction``, combined ``split_gcm`` /
+``mono_gcm`` / ``split_sha`` / ``mono_sha`` / ``xom_sha``, and
+authentication-only ``gcm_auth`` / ``sha_auth``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.auth.policies import AuthPolicy
+
+
+class EncryptionMode(enum.Enum):
+    """How data blocks are encrypted on their way to memory."""
+
+    NONE = "none"
+    DIRECT = "direct"        # AES applied to the data itself (XOM-style)
+    COUNTER = "counter"      # counter-mode with a per-scheme counter org
+
+
+class CounterOrg(enum.Enum):
+    """Counter organization for counter-mode encryption."""
+
+    SPLIT = "split"
+    MONO8 = "mono8b"
+    MONO16 = "mono16b"
+    MONO32 = "mono32b"
+    MONO64 = "mono64b"
+    GLOBAL32 = "global32b"
+    GLOBAL64 = "global64b"
+    PREDICTION = "prediction"
+
+
+class AuthMode(enum.Enum):
+    """How (and whether) memory is authenticated."""
+
+    NONE = "none"
+    GCM = "gcm"
+    SHA1 = "sha1"
+
+
+# Section 5 machine parameters (processor cycles unless noted).
+DEFAULT_BLOCK_SIZE = 64
+DEFAULT_L1_SIZE = 16 * 1024
+DEFAULT_L1_ASSOC = 4
+DEFAULT_L1_LATENCY = 2
+DEFAULT_L2_SIZE = 1024 * 1024
+DEFAULT_L2_ASSOC = 8
+DEFAULT_L2_LATENCY = 10
+DEFAULT_COUNTER_CACHE_SIZE = 32 * 1024
+DEFAULT_COUNTER_CACHE_ASSOC = 8
+DEFAULT_MEMORY_LATENCY = 200
+DEFAULT_MEMORY_SIZE = 512 * 1024 * 1024
+DEFAULT_MAC_BITS = 64
+DEFAULT_NUM_RSRS = 8
+DEFAULT_ISSUE_WIDTH = 3
+
+
+@dataclass(frozen=True)
+class SecureMemoryConfig:
+    """Complete description of one secure-memory design point."""
+
+    name: str = "baseline"
+    encryption: EncryptionMode = EncryptionMode.NONE
+    counter_org: CounterOrg = CounterOrg.SPLIT
+    auth: AuthMode = AuthMode.NONE
+    #: Figure 10 marks Commit as the default authentication requirement
+    auth_policy: AuthPolicy = AuthPolicy.COMMIT
+    parallel_auth: bool = True
+    mac_bits: int = DEFAULT_MAC_BITS
+    authenticate_counters: bool = True
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    minor_bits: int = 7
+    counter_cache_size: int = DEFAULT_COUNTER_CACHE_SIZE
+    counter_cache_assoc: int = DEFAULT_COUNTER_CACHE_ASSOC
+    node_cache_size: int = DEFAULT_COUNTER_CACHE_SIZE
+    node_cache_assoc: int = DEFAULT_COUNTER_CACHE_ASSOC
+    num_rsrs: int = DEFAULT_NUM_RSRS
+    #: ablation knob: with False, page re-encryption stalls the processor
+    #: until the whole page is done (no RSR overlap) — the naive design
+    #: section 4.2's hardware support exists to avoid
+    rsr_overlap: bool = True
+    prediction_depth: int = 5
+
+    memory_size: int = DEFAULT_MEMORY_SIZE
+    memory_latency: int = DEFAULT_MEMORY_LATENCY
+
+    aes_latency: float = 80.0
+    aes_stages: int = 16
+    aes_engines: int = 1
+    sha_latency: float = 320.0
+    sha_stages: int = 32
+
+    def with_updates(self, **changes) -> "SecureMemoryConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def uses_counters(self) -> bool:
+        """Whether the configuration keeps per-block counters.
+
+        True for counter-mode encryption, and also for GCM authentication
+        without encryption — Figure 7's caption notes that GCM maintains
+        per-block counters for its authentication pads even when no
+        encryption is performed.
+        """
+        return (
+            self.encryption is EncryptionMode.COUNTER
+            or self.auth is AuthMode.GCM
+        )
+
+
+def _cfg(name: str, **kwargs) -> SecureMemoryConfig:
+    return SecureMemoryConfig(name=name, **kwargs)
+
+
+def make_counter_config(org: CounterOrg, name: str | None = None,
+                        **kwargs) -> SecureMemoryConfig:
+    """Counter-mode-encryption-only config for a given organization."""
+    return _cfg(name or org.value, encryption=EncryptionMode.COUNTER,
+                counter_org=org, auth=AuthMode.NONE, **kwargs)
+
+
+# -- Figure 4: encryption-only schemes --------------------------------------
+
+def split_config(**kwargs) -> SecureMemoryConfig:
+    return make_counter_config(CounterOrg.SPLIT,
+                               kwargs.pop("name", "split"), **kwargs)
+
+
+def mono_config(bits: int, **kwargs) -> SecureMemoryConfig:
+    org = {8: CounterOrg.MONO8, 16: CounterOrg.MONO16,
+           32: CounterOrg.MONO32, 64: CounterOrg.MONO64}[bits]
+    return make_counter_config(org, **kwargs)
+
+
+def direct_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("direct", encryption=EncryptionMode.DIRECT,
+                auth=AuthMode.NONE, **kwargs)
+
+
+def prediction_config(aes_engines: int = 1, **kwargs) -> SecureMemoryConfig:
+    name = "pred2eng" if aes_engines == 2 else "pred"
+    return make_counter_config(CounterOrg.PREDICTION, name,
+                               aes_engines=aes_engines, **kwargs)
+
+
+# -- Figure 7: authentication-only schemes -----------------------------------
+
+def gcm_auth_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("gcm-auth", encryption=EncryptionMode.NONE,
+                counter_org=CounterOrg.SPLIT, auth=AuthMode.GCM, **kwargs)
+
+
+def sha_auth_config(sha_latency: float = 320.0, **kwargs) -> SecureMemoryConfig:
+    return _cfg(f"sha-auth-{int(sha_latency)}", encryption=EncryptionMode.NONE,
+                auth=AuthMode.SHA1, sha_latency=sha_latency, **kwargs)
+
+
+# -- Figure 9: combined encryption + authentication ---------------------------
+
+def split_gcm_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("split+gcm", encryption=EncryptionMode.COUNTER,
+                counter_org=CounterOrg.SPLIT, auth=AuthMode.GCM, **kwargs)
+
+
+def mono_gcm_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("mono+gcm", encryption=EncryptionMode.COUNTER,
+                counter_org=CounterOrg.MONO64, auth=AuthMode.GCM, **kwargs)
+
+
+def split_sha_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("split+sha", encryption=EncryptionMode.COUNTER,
+                counter_org=CounterOrg.SPLIT, auth=AuthMode.SHA1, **kwargs)
+
+
+def mono_sha_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("mono+sha", encryption=EncryptionMode.COUNTER,
+                counter_org=CounterOrg.MONO64, auth=AuthMode.SHA1, **kwargs)
+
+
+def xom_sha_config(**kwargs) -> SecureMemoryConfig:
+    return _cfg("xom+sha", encryption=EncryptionMode.DIRECT,
+                auth=AuthMode.SHA1, **kwargs)
+
+
+def baseline_config(**kwargs) -> SecureMemoryConfig:
+    """No encryption, no authentication — the IPC normalization baseline."""
+    return _cfg("baseline", **kwargs)
+
+
+#: every named preset, keyed by its benchmark label
+PRESETS = {
+    "baseline": baseline_config(),
+    "split": split_config(),
+    "mono8b": mono_config(8),
+    "mono16b": mono_config(16),
+    "mono32b": mono_config(32),
+    "mono64b": mono_config(64),
+    "direct": direct_config(),
+    "pred": prediction_config(),
+    "pred2eng": prediction_config(aes_engines=2),
+    "gcm-auth": gcm_auth_config(),
+    "sha-auth-320": sha_auth_config(),
+    "split+gcm": split_gcm_config(),
+    "mono+gcm": mono_gcm_config(),
+    "split+sha": split_sha_config(),
+    "mono+sha": mono_sha_config(),
+    "xom+sha": xom_sha_config(),
+}

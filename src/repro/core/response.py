@@ -1,0 +1,90 @@
+"""Responses to detected authentication failures (section 3).
+
+The paper argues that small MACs are acceptable in hardware-attack
+settings because failed authentications are *observable*: unlike a network
+receiver that must silently drop forged packets forever, the processor
+knows it is under attack after a few failures and can respond.  Two
+deployment examples are given:
+
+* **corporate** — raise an alarm so a technician removes the snooper;
+* **game console** — "produce exponentially increasing stall cycles after
+  each authentication failure, to make extraction of copyrighted data a
+  very lengthy process."
+
+:class:`ViolationResponder` implements both, plus a halt-on-first-failure
+mode, and quantifies the security argument: the expected time for an
+attacker to land one lucky forgery against an n-bit MAC under an
+exponential-stall policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ResponseMode(enum.Enum):
+    """What the processor does after a failed authentication."""
+
+    REPORT = "report"            # count + alarm, keep running (corporate)
+    EXPONENTIAL_STALL = "stall"  # 2^k growing stalls (game console)
+    HALT = "halt"                # stop at the first failure
+
+
+class SystemHalted(Exception):
+    """Raised by the HALT response mode."""
+
+
+@dataclass
+class ViolationResponder:
+    """Tracks authentication failures and dictates the penalty.
+
+    ``base_stall_cycles`` is the penalty for the first failure under
+    EXPONENTIAL_STALL; failure k costs ``base * 2^(k-1)`` cycles, capped
+    at ``max_stall_cycles`` to keep arithmetic finite.
+    """
+
+    mode: ResponseMode = ResponseMode.EXPONENTIAL_STALL
+    base_stall_cycles: float = 10_000.0
+    max_stall_cycles: float = 1e18
+    failures: int = 0
+    total_stall_cycles: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    def on_violation(self) -> float:
+        """Record one failed authentication; returns the stall penalty."""
+        self.failures += 1
+        if self.mode is ResponseMode.HALT:
+            raise SystemHalted(
+                f"authentication failure #{self.failures}: system halted"
+            )
+        if self.mode is ResponseMode.REPORT:
+            self.history.append(0.0)
+            return 0.0
+        stall = min(self.base_stall_cycles * 2 ** (self.failures - 1),
+                    self.max_stall_cycles)
+        self.total_stall_cycles += stall
+        self.history.append(stall)
+        return stall
+
+    def reset(self) -> None:
+        self.failures = 0
+        self.total_stall_cycles = 0.0
+        self.history = []
+
+
+def expected_forgery_stall_cycles(mac_bits: int,
+                                  base_stall_cycles: float = 10_000.0) -> float:
+    """Cycles of stalls an attacker pays, in expectation, to land one
+    lucky forgery against an n-bit MAC under exponential stalls.
+
+    Each guess succeeds with p = 2^-n; the attacker needs ~2^n guesses,
+    and the k-th failed guess costs base * 2^(k-1) cycles, so the total
+    stall before the expected success is ~base * (2^(2^n) ...) —
+    astronomically large even for 32-bit MACs.  We return the stall cost
+    of just the first ``min(2^n, 60)`` failures (already ~10^21 cycles for
+    60 failures), which is the quantity that matters: the attack becomes
+    infeasible long before the expected number of guesses is reached.
+    """
+    guesses = min(1 << mac_bits, 60)
+    return base_stall_cycles * ((1 << guesses) - 1)

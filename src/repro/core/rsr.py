@@ -1,0 +1,96 @@
+"""Re-encryption status registers (RSRs) — section 4.2's hardware support.
+
+An RSR tracks one in-progress page re-encryption: a valid bit, the page
+tag, the *old* major counter (needed to decrypt blocks not yet
+re-encrypted), and one done bit per block of the page.  With 64 blocks per
+page and eight RSRs the total state is under 150 bytes, as the paper notes.
+
+Two users:
+
+* the functional :class:`repro.core.secure_memory.SecureMemorySystem`
+  drives an RSR through a complete page re-encryption (synchronously, since
+  functional time does not advance);
+* the timing layer additionally tracks *when* each RSR frees up, to model
+  the two stall conditions of section 4.2 — a second overflow on a page
+  still being re-encrypted, and allocation when every RSR is busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RSR:
+    """One re-encryption status register."""
+
+    blocks_per_page: int
+    valid: bool = False
+    page_index: int = -1
+    old_major: int = 0
+    done: list[bool] = field(default_factory=list)
+    #: timing layer only: cycle at which this re-encryption completes
+    busy_until: float = 0.0
+
+    def allocate(self, page_index: int, old_major: int,
+                 busy_until: float = 0.0) -> None:
+        """Claim this RSR for a page (the paper's allocation sequence)."""
+        if self.valid:
+            raise RuntimeError("allocating an RSR that is still valid")
+        self.valid = True
+        self.page_index = page_index
+        self.old_major = old_major
+        self.done = [False] * self.blocks_per_page
+        self.busy_until = busy_until
+
+    def mark_done(self, slot: int) -> None:
+        self.done[slot] = True
+        if all(self.done):
+            self.free()
+
+    def free(self) -> None:
+        self.valid = False
+        self.page_index = -1
+        self.done = []
+
+    @property
+    def remaining(self) -> int:
+        return sum(1 for d in self.done if not d) if self.valid else 0
+
+
+class RSRFile:
+    """The set of RSRs plus allocation / match logic."""
+
+    def __init__(self, num_rsrs: int = 8, blocks_per_page: int = 64):
+        if num_rsrs < 1:
+            raise ValueError("need at least one RSR")
+        self.rsrs = [RSR(blocks_per_page) for _ in range(num_rsrs)]
+        self.blocks_per_page = blocks_per_page
+
+    def find(self, page_index: int) -> RSR | None:
+        """The valid RSR handling a page, if any."""
+        for rsr in self.rsrs:
+            if rsr.valid and rsr.page_index == page_index:
+                return rsr
+        return None
+
+    def find_free(self, now: float = 0.0) -> RSR | None:
+        """A free RSR (invalid, or — timing — already past busy_until)."""
+        for rsr in self.rsrs:
+            if not rsr.valid:
+                return rsr
+        return None
+
+    def earliest_free_time(self) -> float:
+        """Timing helper: when the soonest-finishing RSR frees up."""
+        return min(rsr.busy_until for rsr in self.rsrs)
+
+    def expire(self, now: float) -> None:
+        """Timing helper: free RSRs whose re-encryption has completed."""
+        for rsr in self.rsrs:
+            if rsr.valid and rsr.busy_until <= now:
+                rsr.free()
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for rsr in self.rsrs if rsr.valid)

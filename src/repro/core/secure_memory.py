@@ -1,0 +1,490 @@
+"""Functional secure memory system: real crypto over a simulated DRAM.
+
+This is the paper's memory controller, bit-exact: counter-mode (or direct)
+AES encryption of every block leaving the chip, GCM or SHA-1 MACs organized
+as a Merkle tree over data blocks *and* direct-counter blocks (Figure 3),
+a counter cache, and RSR-driven page re-encryption on minor-counter
+overflow.  Everything below the L2 — data ciphertext, counter blocks, and
+Merkle code blocks — lives in an untrusted :class:`MainMemory` that the
+attack suite can snoop and corrupt.
+
+The timing twin (:mod:`repro.sim.timing_memory`) shares the configuration
+and the counter/cache/tree structures but models only latencies; this class
+models only values.  Functional time does not advance, so page
+re-encryptions run synchronously to completion — the RSR overlap machinery
+is exercised for its *state* transitions here and for its *timing* in the
+simulator.
+
+Memory map::
+
+    [0, protected_bytes)                     data region (ciphertext)
+    [protected_bytes, +counters)             counter blocks
+    [.., +code blocks)                       Merkle code blocks
+
+Initialization note: memory reads as zero until first written.  The Merkle
+tree adopts a block on its first write-back (boot-time zeroing compressed
+to first touch); reads of never-written blocks return zeros without a DRAM
+access.  All attack experiments operate on blocks after legitimate writes,
+where the full verification chain is active.
+"""
+
+from __future__ import annotations
+
+from repro.auth.codes import build_geometry
+from repro.auth.merkle import IntegrityViolation, MerkleTree
+from repro.auth.schemes import GCMMACScheme, MACScheme, SHAMACScheme
+from repro.core.config import (
+    AuthMode,
+    CounterOrg,
+    EncryptionMode,
+    SecureMemoryConfig,
+)
+from repro.core.rsr import RSRFile
+from repro.core.stats import SecureMemoryStats
+from repro.counters.base import CounterScheme, OverflowAction
+from repro.counters.counter_cache import CounterCache
+from repro.counters.global_ctr import GlobalCounterScheme
+from repro.counters.monolithic import MonolithicCounterScheme
+from repro.counters.prediction import CounterPredictionScheme
+from repro.counters.split import SplitCounterScheme
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import CHUNK_SIZE, ctr_transform
+from repro.crypto.sha1 import sha1
+from repro.memory.cache import Cache
+from repro.memory.dram import MainMemory
+
+
+def make_counter_scheme(config: SecureMemoryConfig) -> CounterScheme:
+    """Instantiate the counter organization named by a config."""
+    org = config.counter_org
+    block = config.block_size
+    if org is CounterOrg.SPLIT:
+        return SplitCounterScheme(block_size=block,
+                                  minor_bits=config.minor_bits)
+    if org in (CounterOrg.MONO8, CounterOrg.MONO16, CounterOrg.MONO32,
+               CounterOrg.MONO64):
+        bits = {CounterOrg.MONO8: 8, CounterOrg.MONO16: 16,
+                CounterOrg.MONO32: 32, CounterOrg.MONO64: 64}[org]
+        return MonolithicCounterScheme(bits, block_size=block)
+    if org is CounterOrg.GLOBAL32:
+        return GlobalCounterScheme(32, block_size=block)
+    if org is CounterOrg.GLOBAL64:
+        return GlobalCounterScheme(64, block_size=block)
+    if org is CounterOrg.PREDICTION:
+        return CounterPredictionScheme(block_size=block,
+                                       depth=config.prediction_depth)
+    raise ValueError(f"unknown counter organization: {org}")
+
+
+def _derive_key(base_key: bytes, label: bytes, epoch: int = 0) -> bytes:
+    """Derive a 16-byte subkey from the platform key."""
+    return sha1(base_key + label + epoch.to_bytes(8, "big"))[:16]
+
+
+class SecureMemorySystem:
+    """Functional secure memory controller with an L2 cache on top."""
+
+    def __init__(self, config: SecureMemoryConfig,
+                 protected_bytes: int = 1024 * 1024,
+                 base_key: bytes = b"platform-master-key!",
+                 l2_size: int | None = None, l2_assoc: int = 8):
+        self.config = config
+        self.block_size = config.block_size
+        if protected_bytes % self.block_size:
+            raise ValueError("protected_bytes must be block-aligned")
+        self.protected_bytes = protected_bytes
+        self.num_data_blocks = protected_bytes // self.block_size
+        self._base_key = bytes(base_key)
+        self._key_epoch = 0
+        self._data_aes = AES128(_derive_key(self._base_key, b"data", 0))
+
+        # Counter machinery.
+        self.counter_scheme: CounterScheme | None = None
+        self.counter_cache: CounterCache | None = None
+        self._num_counter_blocks = 0
+        if config.uses_counters:
+            self.counter_scheme = make_counter_scheme(config)
+            per = self.counter_scheme.data_blocks_per_counter_block
+            self._num_counter_blocks = -(-self.num_data_blocks // per)
+            self.counter_cache = CounterCache(
+                size_bytes=config.counter_cache_size,
+                assoc=config.counter_cache_assoc,
+                block_size=self.block_size,
+                region_base=protected_bytes,
+            )
+        counter_region_bytes = self._num_counter_blocks * self.block_size
+        self._code_region_base = protected_bytes + counter_region_bytes
+
+        # Authentication machinery.
+        self.mac_scheme: MACScheme | None = None
+        self.merkle: MerkleTree | None = None
+        code_region_bytes = 0
+        if config.auth is not AuthMode.NONE:
+            if config.auth is AuthMode.GCM:
+                self.mac_scheme = GCMMACScheme(
+                    _derive_key(self._base_key, b"mac"), config.mac_bits
+                )
+            else:
+                self.mac_scheme = SHAMACScheme(
+                    _derive_key(self._base_key, b"mac"), config.mac_bits
+                )
+            num_leaves = self.num_data_blocks + self._num_counter_blocks
+            geometry = build_geometry(num_leaves, self.block_size,
+                                      config.mac_bits)
+            code_region_bytes = geometry.total_code_blocks * self.block_size
+
+        total = self._code_region_base + code_region_bytes
+        self.dram = MainMemory(size_bytes=total, block_size=self.block_size,
+                               latency_cycles=config.memory_latency)
+
+        if self.mac_scheme is not None:
+            self.merkle = MerkleTree(
+                geometry, self.mac_scheme, self.dram,
+                code_region_base=self._code_region_base,
+                node_cache_bytes=config.node_cache_size,
+                node_cache_assoc=config.node_cache_assoc,
+            )
+
+        # On-chip data cache (the "L2"; payloads are plaintext).
+        self.l2 = Cache(l2_size if l2_size is not None else 64 * 1024,
+                        l2_assoc, self.block_size, name="l2")
+
+        blocks_per_page = (
+            self.counter_scheme.data_blocks_per_counter_block
+            if isinstance(self.counter_scheme, SplitCounterScheme)
+            else 64
+        )
+        self.rsr_file = RSRFile(config.num_rsrs, blocks_per_page)
+
+        self.stats = SecureMemoryStats()
+        self._materialized: set[int] = set()          # data block addresses
+        self._counter_materialized: set[int] = set()  # counter block indices
+        self._counter_deriv: dict[int, int] = {}      # counter-block leaves
+
+    # -- address helpers -----------------------------------------------------
+
+    def _check_data_address(self, address: int) -> None:
+        if address % self.block_size:
+            raise ValueError(f"address {address:#x} not block-aligned")
+        if not 0 <= address < self.protected_bytes:
+            raise ValueError(
+                f"address {address:#x} outside protected region "
+                f"[0, {self.protected_bytes:#x})"
+            )
+
+    def _data_leaf_index(self, address: int) -> int:
+        return address // self.block_size
+
+    def _counter_leaf_index(self, counter_block_index: int) -> int:
+        return self.num_data_blocks + counter_block_index
+
+    # -- encryption primitives --------------------------------------------------
+
+    def _encrypt(self, address: int, counter: int, plaintext: bytes) -> bytes:
+        mode = self.config.encryption
+        if mode is EncryptionMode.NONE:
+            return bytes(plaintext)
+        if mode is EncryptionMode.DIRECT:
+            return b"".join(
+                self._data_aes.encrypt_block(
+                    plaintext[i : i + CHUNK_SIZE]
+                )
+                for i in range(0, len(plaintext), CHUNK_SIZE)
+            )
+        return ctr_transform(self._data_aes, address, counter, plaintext)
+
+    def _decrypt(self, address: int, counter: int, ciphertext: bytes) -> bytes:
+        mode = self.config.encryption
+        if mode is EncryptionMode.NONE:
+            return bytes(ciphertext)
+        if mode is EncryptionMode.DIRECT:
+            return b"".join(
+                self._data_aes.decrypt_block(
+                    ciphertext[i : i + CHUNK_SIZE]
+                )
+                for i in range(0, len(ciphertext), CHUNK_SIZE)
+            )
+        return ctr_transform(self._data_aes, address, counter, ciphertext)
+
+    # -- counter-block residency ---------------------------------------------
+
+    def _ensure_counter_block(self, address: int, for_write: bool) -> None:
+        """Bring the counter block covering ``address`` on-chip.
+
+        On a miss the block is fetched from the untrusted counter region,
+        authenticated (unless ``authenticate_counters`` is disabled — the
+        vulnerable configuration of section 4.3), and decoded into the
+        scheme's live state.  Dirty displaced counter blocks are serialized
+        back to DRAM with their Merkle leaf updated.
+        """
+        assert self.counter_scheme is not None and self.counter_cache is not None
+        index = self.counter_scheme.counter_block_address(address)
+        outcome = self.counter_cache.access(index, write=for_write)
+        if outcome.hit:
+            return
+        self.stats.counter_fetches += 1
+        if index in self._counter_materialized:
+            mem_address = self.counter_cache.memory_address(index)
+            image = self.dram.read_block(mem_address)
+            if self.merkle is not None and self.config.authenticate_counters:
+                self.merkle.verify_leaf(
+                    self._counter_leaf_index(index), mem_address,
+                    self._counter_deriv.get(index, 0), image,
+                )
+            self.counter_scheme.decode_counter_block(index, image)
+        eviction = self.counter_cache.fill(index, dirty=False)
+        if eviction is not None and eviction.dirty:
+            self._write_back_counter_block(
+                self.counter_cache.evicted_index(eviction)
+            )
+
+    def _write_back_counter_block(self, index: int) -> None:
+        """Serialize a displaced dirty counter block to DRAM + tree."""
+        assert self.counter_scheme is not None and self.counter_cache is not None
+        self.stats.counter_writebacks += 1
+        image = self.counter_scheme.encode_counter_block(index)
+        mem_address = self.counter_cache.memory_address(index)
+        self.dram.write_block(mem_address, image)
+        self._counter_materialized.add(index)
+        if self.merkle is not None and self.config.authenticate_counters:
+            deriv = self._counter_deriv.get(index, 0) + 1
+            self._counter_deriv[index] = deriv
+            self.merkle.update_leaf(
+                self._counter_leaf_index(index), mem_address, deriv, image
+            )
+
+    def _counter_for(self, address: int, for_write: bool) -> int:
+        """Resolve a block's current counter, faulting its block on-chip."""
+        if self.counter_scheme is None:
+            return 0
+        self._ensure_counter_block(address, for_write)
+        return self.counter_scheme.counter_for_block(address)
+
+    # -- fetch / write-back -------------------------------------------------------
+
+    def _fetch_block(self, address: int) -> bytearray:
+        """L2 miss path: fetch, decrypt, and authenticate one data block."""
+        self.stats.reads += 1
+        if address not in self._materialized:
+            return bytearray(self.block_size)
+        counter = self._counter_for(address, for_write=False)
+        ciphertext = self.dram.read_block(address)
+        if self.merkle is not None:
+            try:
+                self.merkle.verify_leaf(
+                    self._data_leaf_index(address), address, counter,
+                    ciphertext,
+                )
+            except IntegrityViolation:
+                self.stats.integrity_violations += 1
+                raise
+        return bytearray(self._decrypt(address, counter, ciphertext))
+
+    def _write_back(self, address: int, plaintext: bytes) -> None:
+        """Dirty-eviction path: encrypt, store, and re-MAC one data block."""
+        self.stats.writes += 1
+        counter = 0
+        if self.counter_scheme is not None:
+            self._ensure_counter_block(address, for_write=True)
+            result = self.counter_scheme.increment(address)
+            # The increment mutates the resident counter block regardless of
+            # whether the access above hit or missed; mark the line dirty so
+            # eviction serializes the new value back to DRAM.
+            self.counter_cache.mark_dirty(
+                self.counter_scheme.counter_block_address(address)
+            )
+            counter = result.counter
+            if result.action is OverflowAction.PAGE_REENCRYPTION:
+                self._page_reencrypt(result.page_address, address)
+            elif result.action is OverflowAction.FULL_REENCRYPTION:
+                self._full_reencrypt(address)
+                counter = 1
+        ciphertext = self._encrypt(address, counter, plaintext)
+        self.dram.write_block(address, ciphertext)
+        self._materialized.add(address)
+        if self.merkle is not None:
+            self.merkle.update_leaf(
+                self._data_leaf_index(address), address, counter, ciphertext
+            )
+
+    # -- page re-encryption (split counters + RSR) -----------------------------
+
+    def _page_reencrypt(self, page_index: int, triggering_address: int) -> None:
+        """Re-encrypt one encryption page after a minor-counter overflow.
+
+        Follows section 4.2: the RSR captures the old major counter (the
+        scheme has already advanced it), each cached block is lazily
+        dirty-marked without a fetch, each memory-resident block is fetched,
+        decrypted under the old major and its old minor, and immediately
+        written back under the new major.  Functional time is synchronous,
+        so the RSR is driven start-to-finish here.
+        """
+        assert isinstance(self.counter_scheme, SplitCounterScheme)
+        scheme = self.counter_scheme
+        stats = self.stats.reencryption
+        stats.page_reencryptions += 1
+        if self.rsr_file.find(page_index) is not None:
+            # Section 4.2's first stall condition; cannot occur with
+            # synchronous completion but guarded for safety.
+            stats.rsr_stalls += 1
+            raise RuntimeError("overflow on a page already re-encrypting")
+        rsr = self.rsr_file.find_free()
+        if rsr is None:
+            stats.rsr_stalls += 1
+            raise RuntimeError("no free RSR")
+        old_major = scheme.major_counter(page_index) - 1
+        rsr.allocate(page_index, old_major)
+        stats.max_concurrent_rsrs = max(stats.max_concurrent_rsrs,
+                                        self.rsr_file.active_count)
+        for slot, block_address in enumerate(scheme.blocks_of_page(page_index)):
+            if block_address == triggering_address:
+                # The overflowing write-back re-encrypts this block itself;
+                # its minor was reset by the scheme's increment.
+                stats.blocks_found_onchip += 1
+                rsr.mark_done(slot)
+                continue
+            if (block_address < self.protected_bytes
+                    and self.l2.contains(block_address)):
+                # Lazy path: on-chip copy is plaintext; mark it dirty so the
+                # natural write-back re-encrypts under the new major.
+                scheme.reset_minor(block_address)
+                self.l2.mark_dirty(block_address)
+                stats.blocks_found_onchip += 1
+                stats.blocks_reencrypted += 1
+                rsr.mark_done(slot)
+                continue
+            if block_address not in self._materialized:
+                scheme.reset_minor(block_address)
+                stats.blocks_untouched += 1
+                rsr.mark_done(slot)
+                continue
+            # Fetch, decrypt under (old major, old minor), re-encrypt under
+            # the new major; not cached, immediately written back.
+            ciphertext = self.dram.read_block(block_address)
+            old_counter = scheme.counter_with_major(block_address, old_major)
+            if self.merkle is not None:
+                self.merkle.verify_leaf(
+                    self._data_leaf_index(block_address), block_address,
+                    old_counter, ciphertext,
+                )
+            plaintext = self._decrypt(block_address, old_counter, ciphertext)
+            scheme.reset_minor(block_address)
+            stats.blocks_fetched += 1
+            stats.blocks_reencrypted += 1
+            self._write_back(block_address, plaintext)
+            rsr.mark_done(slot)
+
+    # -- full-memory re-encryption (monolithic / global overflow) ---------------
+
+    def _full_reencrypt(self, triggering_address: int) -> None:
+        """Key change + entire-memory re-encryption (the costly freeze)."""
+        scheme = self.counter_scheme
+        assert isinstance(scheme, (MonolithicCounterScheme,
+                                   GlobalCounterScheme))
+        self.stats.reencryption.full_reencryptions += 1
+        # Decrypt every materialized block under the old key and counters.
+        plaintexts: dict[int, bytes] = {}
+        for address in sorted(self._materialized):
+            counter = scheme.counter_for_block(address)
+            plaintexts[address] = self._decrypt(
+                address, counter, self.dram.read_block(address)
+            )
+        # Key change: everything re-encrypts under counter 0, epoch + 1.
+        self._key_epoch += 1
+        self._data_aes = AES128(
+            _derive_key(self._base_key, b"data", self._key_epoch)
+        )
+        scheme.reset_all_counters()
+        for address, plaintext in plaintexts.items():
+            ciphertext = self._encrypt(address, 0, plaintext)
+            self.dram.write_block(address, ciphertext)
+            if self.merkle is not None:
+                self.merkle.update_leaf(
+                    self._data_leaf_index(address), address, 0, ciphertext
+                )
+        # The triggering block's write-back proceeds with counter 1.
+        scheme.set_counter(triggering_address, 1)
+        self.stats.reencryption.blocks_reencrypted += len(plaintexts)
+
+    # -- public API --------------------------------------------------------------
+
+    def read_block(self, address: int) -> bytes:
+        """Read one block through the L2 (plaintext view)."""
+        self._check_data_address(address)
+        if self.l2.access(address):
+            return bytes(self.l2.lookup(address).payload)
+        plaintext = self._fetch_block(address)
+        eviction = self.l2.fill(address, payload=plaintext)
+        if eviction is not None and eviction.dirty:
+            self._write_back(eviction.address, bytes(eviction.payload))
+        return bytes(plaintext)
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Write one block through the L2 (write-allocate, write-back)."""
+        self._check_data_address(address)
+        if len(data) != self.block_size:
+            raise ValueError(f"data must be {self.block_size} bytes")
+        if self.l2.access(address, write=True):
+            self.l2.lookup(address).payload[:] = data
+            return
+        self._fetch_block(address)  # write-allocate (fills nothing yet)
+        eviction = self.l2.fill(address, dirty=True, payload=bytearray(data))
+        if eviction is not None and eviction.dirty:
+            self._write_back(eviction.address, bytes(eviction.payload))
+
+    def read(self, address: int, size: int) -> bytes:
+        """Byte-granular read spanning blocks."""
+        out = bytearray()
+        while size > 0:
+            base = address & ~(self.block_size - 1)
+            offset = address - base
+            take = min(size, self.block_size - offset)
+            out.extend(self.read_block(base)[offset : offset + take])
+            address += take
+            size -= take
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Byte-granular write spanning blocks (read-modify-write)."""
+        position = 0
+        while position < len(data):
+            base = (address + position) & ~(self.block_size - 1)
+            offset = (address + position) - base
+            take = min(len(data) - position, self.block_size - offset)
+            block = bytearray(self.read_block(base))
+            block[offset : offset + take] = data[position : position + take]
+            self.write_block(base, bytes(block))
+            position += take
+
+    def flush(self) -> None:
+        """Write all dirty on-chip state back to DRAM.
+
+        After a flush the DRAM image is self-contained: a fresh system with
+        the same keys (see :meth:`clone_cold`) can verify and decrypt it.
+        """
+        # Write-backs can dirty more lines (lazy page re-encryption marks
+        # cached blocks dirty; data write-backs dirty counter blocks), so
+        # sweep until everything is clean.
+        while True:
+            dirty_data = list(self.l2.dirty_blocks())
+            for address, line in dirty_data:
+                line.dirty = False
+                self._write_back(address, bytes(line.payload))
+            dirty_counters = (
+                list(self.counter_cache.cache.dirty_blocks())
+                if self.counter_cache is not None else []
+            )
+            for block_addr, line in dirty_counters:
+                line.dirty = False
+                self._write_back_counter_block(block_addr // self.block_size)
+            if not dirty_data and not dirty_counters:
+                break
+        if self.merkle is not None:
+            self.merkle.flush()
+
+    @property
+    def integrity_violations(self) -> int:
+        total = self.stats.integrity_violations
+        if self.merkle is not None:
+            total = max(total, self.merkle.stats.violations_detected)
+        return total

@@ -1,0 +1,92 @@
+"""Statistics gathered by the secure-memory layers.
+
+These counters back the paper's non-IPC claims: re-encryption work ratios
+(section 4.2's 0.3% figure), the fraction of page blocks already on-chip at
+re-encryption time (48%), average page re-encryption duration (5717
+cycles), counter growth rates (Table 2), and cache hit/timely-pad rates
+(Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReencryptionStats:
+    """Page (split) and full-memory (monolithic/global) re-encryption work."""
+
+    page_reencryptions: int = 0
+    full_reencryptions: int = 0
+    blocks_reencrypted: int = 0
+    blocks_found_onchip: int = 0
+    blocks_fetched: int = 0
+    blocks_untouched: int = 0
+    total_page_cycles: float = 0.0
+    max_concurrent_rsrs: int = 0
+    rsr_stalls: int = 0
+
+    @property
+    def onchip_fraction(self) -> float:
+        """Of blocks needing re-encryption, how many were already cached."""
+        processed = self.blocks_found_onchip + self.blocks_fetched
+        if not processed:
+            return 0.0
+        return self.blocks_found_onchip / processed
+
+    @property
+    def mean_page_cycles(self) -> float:
+        if not self.page_reencryptions:
+            return 0.0
+        return self.total_page_cycles / self.page_reencryptions
+
+    def reset(self) -> None:
+        self.page_reencryptions = 0
+        self.full_reencryptions = 0
+        self.blocks_reencrypted = 0
+        self.blocks_found_onchip = 0
+        self.blocks_fetched = 0
+        self.blocks_untouched = 0
+        self.total_page_cycles = 0.0
+        self.max_concurrent_rsrs = 0
+        self.rsr_stalls = 0
+
+
+@dataclass
+class PadStats:
+    """Timeliness of counter-mode pad generation (Figure 6, middle group)."""
+
+    pad_requests: int = 0
+    timely_pads: int = 0
+
+    @property
+    def timely_rate(self) -> float:
+        return self.timely_pads / self.pad_requests if self.pad_requests else 0.0
+
+    def reset(self) -> None:
+        self.pad_requests = 0
+        self.timely_pads = 0
+
+
+@dataclass
+class SecureMemoryStats:
+    """Umbrella statistics object for one secure-memory instance."""
+
+    reads: int = 0
+    writes: int = 0
+    counter_fetches: int = 0
+    counter_writebacks: int = 0
+    counter_half_misses: int = 0
+    integrity_violations: int = 0
+    reencryption: ReencryptionStats = field(default_factory=ReencryptionStats)
+    pads: PadStats = field(default_factory=PadStats)
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.counter_fetches = 0
+        self.counter_writebacks = 0
+        self.counter_half_misses = 0
+        self.integrity_violations = 0
+        self.reencryption.reset()
+        self.pads.reset()

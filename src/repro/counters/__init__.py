@@ -1,0 +1,28 @@
+"""Counter organizations for counter-mode memory encryption."""
+
+from repro.counters.base import (
+    CounterScheme,
+    IncrementResult,
+    OverflowAction,
+)
+from repro.counters.counter_cache import CounterAccessOutcome, CounterCache
+from repro.counters.global_ctr import GlobalCounterScheme
+from repro.counters.monolithic import MonolithicCounterScheme
+from repro.counters.prediction import (
+    DEFAULT_PREDICTION_DEPTH,
+    CounterPredictionScheme,
+)
+from repro.counters.split import SplitCounterScheme
+
+__all__ = [
+    "CounterAccessOutcome",
+    "CounterCache",
+    "CounterPredictionScheme",
+    "CounterScheme",
+    "DEFAULT_PREDICTION_DEPTH",
+    "GlobalCounterScheme",
+    "IncrementResult",
+    "MonolithicCounterScheme",
+    "OverflowAction",
+    "SplitCounterScheme",
+]

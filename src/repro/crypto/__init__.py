@@ -1,0 +1,50 @@
+"""Functional cryptography substrate, all implemented from scratch.
+
+Contents:
+
+* :mod:`repro.crypto.aes` — AES-128 (FIPS-197)
+* :mod:`repro.crypto.gf128` / :mod:`repro.crypto.ghash` — GF(2^128) and GHASH
+* :mod:`repro.crypto.gcm` — AES-GCM AEAD (SP 800-38D)
+* :mod:`repro.crypto.sha1` — SHA-1 and HMAC-SHA1
+* :mod:`repro.crypto.ctr` — counter-mode seeds and pads for memory encryption
+* :mod:`repro.crypto.mac` — per-block authentication codes (GCM and SHA)
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import (
+    AUTHENTICATION_IV,
+    CHUNK_SIZE,
+    ENCRYPTION_IV,
+    ctr_transform,
+    generate_pads,
+    make_seed,
+    xor_bytes,
+)
+from repro.crypto.gcm import AESGCM, AuthenticationError, constant_time_equal
+from repro.crypto.gf128 import GF128Element, gf128_mul
+from repro.crypto.ghash import ghash, ghash_chunks
+from repro.crypto.mac import gcm_block_mac, macs_per_block, sha_block_mac
+from repro.crypto.sha1 import hmac_sha1, sha1
+
+__all__ = [
+    "AES128",
+    "AESGCM",
+    "AuthenticationError",
+    "AUTHENTICATION_IV",
+    "CHUNK_SIZE",
+    "ENCRYPTION_IV",
+    "GF128Element",
+    "constant_time_equal",
+    "ctr_transform",
+    "generate_pads",
+    "gf128_mul",
+    "ghash",
+    "ghash_chunks",
+    "gcm_block_mac",
+    "hmac_sha1",
+    "macs_per_block",
+    "make_seed",
+    "sha1",
+    "sha_block_mac",
+    "xor_bytes",
+]

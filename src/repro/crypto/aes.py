@@ -1,0 +1,205 @@
+"""AES-128 block cipher (FIPS-197), implemented from scratch.
+
+This module provides the functional encryption substrate for the secure
+memory system.  It is a straightforward table-driven implementation: the
+S-box is derived from the multiplicative inverse in GF(2^8) followed by the
+affine transform, exactly as specified in FIPS-197, and round transforms
+operate on a 16-byte state held as a flat list in column-major order.
+
+Only the 128-bit key size is implemented because the paper's hardware engine
+is a 128-bit AES pipeline.  Both the forward cipher (used for pad generation
+in counter mode and for direct encryption) and the inverse cipher (needed
+only by direct encryption) are provided.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+NUM_ROUNDS = 10
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Derive the AES S-box and its inverse from GF(2^8) arithmetic."""
+    # Multiplicative inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03 in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = exp[255 - log[value]] if value else 0
+        # Affine transformation over GF(2): b'_i = b_i ^ b_{i+4} ^ b_{i+5}
+        # ^ b_{i+6} ^ b_{i+7} ^ c_i with c = 0x63 (FIPS-197 section 5.1.1).
+        res = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            res |= b << bit
+        sbox[value] = res
+    for value in range(256):
+        inv_sbox[sbox[value]] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (0x02) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) with the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = [gf_mul(i, 2) for i in range(256)]
+_MUL3 = [gf_mul(i, 3) for i in range(256)]
+_MUL9 = [gf_mul(i, 9) for i in range(256)]
+_MUL11 = [gf_mul(i, 11) for i in range(256)]
+_MUL13 = [gf_mul(i, 13) for i in range(256)]
+_MUL14 = [gf_mul(i, 14) for i in range(256)]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """Expand a 16-byte key into 11 round keys of 16 bytes each."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 4 * (NUM_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+    round_keys = []
+    for r in range(NUM_ROUNDS + 1):
+        rk = []
+        for w in words[4 * r : 4 * r + 4]:
+            rk.extend(w)
+        round_keys.append(rk)
+    return round_keys
+
+
+def _sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    # state is column-major: state[4*c + r]
+    return [
+        state[0], state[5], state[10], state[15],
+        state[4], state[9], state[14], state[3],
+        state[8], state[13], state[2], state[7],
+        state[12], state[1], state[6], state[11],
+    ]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [
+        state[0], state[13], state[10], state[7],
+        state[4], state[1], state[14], state[11],
+        state[8], state[5], state[2], state[15],
+        state[12], state[9], state[6], state[3],
+    ]
+
+
+def _mix_columns(state: list[int]) -> None:
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
+        state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+        state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+        state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+        state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+
+def _inv_mix_columns(state: list[int]) -> None:
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
+        state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+        state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+        state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+        state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+class AES128:
+    """AES-128 cipher bound to a single key.
+
+    The key schedule is computed once at construction; ``encrypt_block`` and
+    ``decrypt_block`` then operate on 16-byte blocks.
+    """
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(key)
+        self.key = bytes(key)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        state = list(plaintext)
+        _add_round_key(state, self._round_keys[0])
+        for rnd in range(1, NUM_ROUNDS):
+            _sub_bytes(state)
+            state = _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[rnd])
+        _sub_bytes(state)
+        state = _shift_rows(state)
+        _add_round_key(state, self._round_keys[NUM_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        state = list(ciphertext)
+        _add_round_key(state, self._round_keys[NUM_ROUNDS])
+        for rnd in range(NUM_ROUNDS - 1, 0, -1):
+            state = _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._round_keys[rnd])
+            _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,79 @@
+"""Counter-mode pad generation and seed construction for memory encryption.
+
+The paper encrypts a 64-byte cache block as four 16-byte *encryption chunks*.
+Each chunk's keystream pad is AES_K(seed) where the seed concatenates the
+chunk's address, the block's counter value (major || minor for the split
+scheme, or the monolithic/global counter value otherwise), and a constant
+*encryption initialization vector* (EIV).  Decryption is the identical XOR.
+
+Security rests on seed uniqueness: the address field separates locations and
+the counter field separates successive write-backs of one location, so no
+(seed, key) pair ever recurs — the fundamental counter-mode requirement.
+
+Seed layout (16 bytes, big-endian fields):
+
+    bytes  0-5   chunk address >> 4  (48 bits — chunk index in memory)
+    bytes  6-13  counter value       (64 bits)
+    bytes 14-15  IV tag              (16 bits of the EIV / AIV constant)
+
+The IV tag domain-separates encryption pads from authentication pads so the
+same (address, counter) never produces the same AES input for both purposes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+CHUNK_SIZE = 16
+
+# Domain-separation constants: encryption IV and authentication IV.
+ENCRYPTION_IV = 0x45E1  # "E"
+AUTHENTICATION_IV = 0xA07A  # "A"
+
+
+def make_seed(chunk_address: int, counter: int, iv_tag: int) -> bytes:
+    """Build the 16-byte AES input for one chunk pad.
+
+    ``chunk_address`` is the byte address of the 16-byte chunk;
+    ``counter`` is the (possibly concatenated major||minor) counter value,
+    truncated to 64 bits; ``iv_tag`` is ENCRYPTION_IV or AUTHENTICATION_IV.
+    """
+    if chunk_address % CHUNK_SIZE:
+        raise ValueError("chunk address must be 16-byte aligned")
+    chunk_index = (chunk_address // CHUNK_SIZE) & ((1 << 48) - 1)
+    return (
+        chunk_index.to_bytes(6, "big")
+        + (counter & ((1 << 64) - 1)).to_bytes(8, "big")
+        + (iv_tag & 0xFFFF).to_bytes(2, "big")
+    )
+
+
+def generate_pads(aes: AES128, block_address: int, counter: int,
+                  num_chunks: int, iv_tag: int = ENCRYPTION_IV) -> list[bytes]:
+    """Generate the keystream pads for every chunk of a cache block."""
+    return [
+        aes.encrypt_block(
+            make_seed(block_address + i * CHUNK_SIZE, counter, iv_tag)
+        )
+        for i in range(num_chunks)
+    ]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("xor_bytes requires equal lengths")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ctr_transform(aes: AES128, block_address: int, counter: int,
+                  data: bytes, iv_tag: int = ENCRYPTION_IV) -> bytes:
+    """Encrypt or decrypt a cache block in counter mode (self-inverse)."""
+    if len(data) % CHUNK_SIZE:
+        raise ValueError("data must be a whole number of 16-byte chunks")
+    num_chunks = len(data) // CHUNK_SIZE
+    pads = generate_pads(aes, block_address, counter, num_chunks, iv_tag)
+    out = bytearray()
+    for i, pad in enumerate(pads):
+        out.extend(xor_bytes(data[i * CHUNK_SIZE:(i + 1) * CHUNK_SIZE], pad))
+    return bytes(out)

@@ -1,0 +1,83 @@
+"""Arithmetic in GF(2^128) as used by the GHASH function.
+
+GHASH (NIST SP 800-38D) multiplies 128-bit blocks in the finite field
+GF(2^128) defined by the polynomial x^128 + x^7 + x^2 + x + 1.  The bit
+ordering follows the GCM specification: the most significant bit of the
+first byte is the coefficient of x^0 ("reflected" relative to the usual
+integer convention).
+
+The paper's hardware performs one such multiplication per cycle; this module
+is its functional counterpart, used to compute real authentication tags in
+the functional simulation layer and the attack experiments.
+"""
+
+from __future__ import annotations
+
+# x^128 + x^7 + x^2 + x + 1, expressed in the reflected bit order used by
+# GCM: reducing by this constant corresponds to the standard polynomial.
+_R = 0xE1000000000000000000000000000000
+
+
+def block_to_int(block: bytes) -> int:
+    """Interpret a 16-byte block as a GF(2^128) element (GCM bit order)."""
+    if len(block) != 16:
+        raise ValueError("GF(2^128) elements are 16 bytes")
+    return int.from_bytes(block, "big")
+
+
+def int_to_block(value: int) -> bytes:
+    """Convert a field element back to its 16-byte representation."""
+    return value.to_bytes(16, "big")
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Multiply two GF(2^128) elements in GCM bit order.
+
+    This is the textbook shift-and-add algorithm from SP 800-38D
+    section 6.3: iterate over the bits of ``x`` from most significant to
+    least, conditionally accumulating ``v`` (which starts at ``y`` and is
+    multiplied by x each step, reducing with R when the low bit falls off).
+    """
+    z = 0
+    v = y
+    for i in range(127, -1, -1):
+        if (x >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class GF128Element:
+    """Convenience wrapper for field elements with operator overloading."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | bytes):
+        if isinstance(value, bytes):
+            value = block_to_int(value)
+        if not 0 <= value < (1 << 128):
+            raise ValueError("value out of range for GF(2^128)")
+        self.value = value
+
+    def __add__(self, other: "GF128Element") -> "GF128Element":
+        return GF128Element(self.value ^ other.value)
+
+    __sub__ = __add__  # characteristic 2: addition is subtraction
+
+    def __mul__(self, other: "GF128Element") -> "GF128Element":
+        return GF128Element(gf128_mul(self.value, other.value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF128Element) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"GF128Element(0x{self.value:032x})"
+
+    def to_bytes(self) -> bytes:
+        return int_to_block(self.value)

@@ -1,0 +1,63 @@
+"""Authentication-code helpers: block MAC construction and truncation.
+
+The paper's Merkle tree stores authentication codes of configurable size
+(128, 64, or 32 bits; 64 is the default).  Two MAC constructions coexist:
+
+* **GCM MAC** — GHASH over the ciphertext chunks of the protected block,
+  XORed with an AES *authentication pad* generated from the block address,
+  its counter, and the authentication IV.  Because the pad computation needs
+  only the address and counter (both known at miss time), it overlaps with
+  the memory fetch; the GHASH chain runs as ciphertext chunks arrive.
+
+* **SHA MAC** — HMAC-SHA1 over (address || counter || ciphertext), the
+  construction used by the prior-work baselines (XOM-style and Merkle/SHA
+  designs).  Its full latency lands after the data arrives.
+
+Both are truncated to the configured MAC size, which sets the Merkle-tree
+arity: a 64-byte code block holds 64/mac_bytes child codes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import AUTHENTICATION_IV, CHUNK_SIZE, make_seed, xor_bytes
+from repro.crypto.ghash import ghash_chunks
+from repro.crypto.sha1 import hmac_sha1
+
+VALID_MAC_BITS = (32, 64, 128)
+
+
+def _split_chunks(data: bytes) -> list[bytes]:
+    if len(data) % CHUNK_SIZE:
+        raise ValueError("MAC input must be whole 16-byte chunks")
+    return [data[i : i + CHUNK_SIZE] for i in range(0, len(data), CHUNK_SIZE)]
+
+
+def gcm_block_mac(aes: AES128, ghash_key: bytes, block_address: int,
+                  counter: int, ciphertext: bytes, mac_bits: int = 64) -> bytes:
+    """Compute the (truncated) GCM authentication code for one block."""
+    if mac_bits not in VALID_MAC_BITS:
+        raise ValueError(f"mac_bits must be one of {VALID_MAC_BITS}")
+    digest = ghash_chunks(ghash_key, _split_chunks(ciphertext))
+    auth_pad = aes.encrypt_block(
+        make_seed(block_address, counter, AUTHENTICATION_IV)
+    )
+    return xor_bytes(digest, auth_pad)[: mac_bits // 8]
+
+
+def sha_block_mac(key: bytes, block_address: int, counter: int,
+                  ciphertext: bytes, mac_bits: int = 64) -> bytes:
+    """Compute the (truncated) HMAC-SHA1 code for one block."""
+    if mac_bits not in VALID_MAC_BITS:
+        raise ValueError(f"mac_bits must be one of {VALID_MAC_BITS}")
+    message = (
+        block_address.to_bytes(8, "big")
+        + (counter & ((1 << 64) - 1)).to_bytes(8, "big")
+        + ciphertext
+    )
+    return hmac_sha1(key, message)[: mac_bits // 8]
+
+
+def macs_per_block(block_size: int, mac_bits: int) -> int:
+    """How many MACs fit in one cache block — the Merkle-tree arity."""
+    return block_size // (mac_bits // 8)

@@ -1,0 +1,69 @@
+"""SHA-1 (FIPS 180-1) and HMAC-SHA1, implemented from scratch.
+
+SHA-1 is the authentication baseline throughout the paper's evaluation
+(Figures 7-10): prior secure-memory proposals used SHA-1 or MD-5 MACs whose
+300ns-plus hardware latency sits on the critical path of every timely
+authentication.  The functional layer uses this implementation to compute
+real Merkle-tree MACs for the SHA-based baseline configurations.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def _compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+            k = 0x5A827999
+        elif t < 40:
+            f = b ^ c ^ d
+            k = 0x6ED9EBA1
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = 0x8F1BBCDC
+        else:
+            f = b ^ c ^ d
+            k = 0xCA62C1D6
+        temp = (_rotl(a, 5) + f + e + k + w[t]) & 0xFFFFFFFF
+        e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+    return tuple(
+        (s + v) & 0xFFFFFFFF for s, v in zip(state, (a, b, c, d, e))
+    )
+
+
+def sha1(message: bytes) -> bytes:
+    """Compute the 20-byte SHA-1 digest of ``message``."""
+    length = len(message)
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded)) % 64)
+    padded += struct.pack(">Q", length * 8)
+    state = _H0
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset : offset + 64])
+    return struct.pack(">5I", *state)
+
+
+_BLOCK = 64
+_IPAD = bytes(0x36 for _ in range(_BLOCK))
+_OPAD = bytes(0x5C for _ in range(_BLOCK))
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1 (RFC 2104): keyed MACs for the SHA-based baselines."""
+    if len(key) > _BLOCK:
+        key = sha1(key)
+    key = key + b"\x00" * (_BLOCK - len(key))
+    inner = sha1(bytes(k ^ p for k, p in zip(key, _IPAD)) + message)
+    return sha1(bytes(k ^ p for k, p in zip(key, _OPAD)) + inner)

@@ -1,0 +1,26 @@
+"""Crypto-engine timing models (latency/occupancy only; no real crypto)."""
+
+from repro.engines.aes_engine import (
+    AES_LATENCY_CYCLES,
+    AES_PIPELINE_STAGES,
+    AESEngine,
+)
+from repro.engines.ghash_unit import GHASHUnit
+from repro.engines.pipeline import EngineStats, PipelinedEngine
+from repro.engines.sha_engine import (
+    SHA1_LATENCY_CYCLES,
+    SHA1_PIPELINE_STAGES,
+    SHA1Engine,
+)
+
+__all__ = [
+    "AES_LATENCY_CYCLES",
+    "AES_PIPELINE_STAGES",
+    "AESEngine",
+    "EngineStats",
+    "GHASHUnit",
+    "PipelinedEngine",
+    "SHA1_LATENCY_CYCLES",
+    "SHA1_PIPELINE_STAGES",
+    "SHA1Engine",
+]

@@ -1,0 +1,81 @@
+"""Pipelined hardware-unit timing model shared by all crypto engines.
+
+The paper specifies deeply pipelined engines: a 16-stage AES pipeline with
+80 cycles of total latency, and a 32-stage SHA-1 pipeline with 320 cycles
+(section 5).  A new operation can enter such a pipeline every
+``latency / stages`` cycles, so both latency *and* issue bandwidth are
+modelled — issue bandwidth is what limits the counter-prediction scheme,
+which must precompute N pads per decryption and saturates a single AES
+engine (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Operation counts and contention accounting for one engine."""
+
+    operations: int = 0
+    stall_cycles: float = 0.0
+
+    def reset(self) -> None:
+        self.operations = 0
+        self.stall_cycles = 0.0
+
+
+class PipelinedEngine:
+    """A pipelined unit with fixed latency and initiation interval.
+
+    ``request(now)`` returns the completion time of an operation issued at
+    ``now``; back-to-back requests queue at the pipeline's initiation
+    interval.  Multiple physical engines (``copies``) issue round-robin,
+    which is how the two-AES-engine prediction configuration is modelled.
+    """
+
+    def __init__(self, latency: float, stages: int, copies: int = 1,
+                 name: str = "engine"):
+        if latency <= 0 or stages <= 0 or copies <= 0:
+            raise ValueError("latency, stages, and copies must be positive")
+        self.latency = latency
+        self.stages = stages
+        self.copies = copies
+        self.name = name
+        self.initiation_interval = latency / stages
+        self._next_issue = [0.0] * copies
+        self.stats = EngineStats()
+
+    def request(self, now: float) -> float:
+        """Issue one operation at ``now``; returns its completion cycle."""
+        # Pick the engine copy that frees up first.
+        engine = min(range(self.copies), key=lambda i: self._next_issue[i])
+        start = max(now, self._next_issue[engine])
+        self._next_issue[engine] = start + self.initiation_interval
+        self.stats.operations += 1
+        self.stats.stall_cycles += start - now
+        return start + self.latency
+
+    def request_many(self, now: float, count: int) -> float:
+        """Issue ``count`` back-to-back operations; returns when the last
+        one completes.  Used for the four pad generations of one 64-byte
+        block, which the hardware streams into the pipeline."""
+        done = now
+        for _ in range(count):
+            done = self.request(now)
+        return done
+
+    def busy_until(self) -> float:
+        """Earliest cycle at which any copy can accept a new operation."""
+        return min(self._next_issue)
+
+    def reset(self) -> None:
+        self._next_issue = [0.0] * self.copies
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelinedEngine({self.name}: {self.latency}cyc latency, "
+            f"{self.stages} stages, x{self.copies})"
+        )

@@ -1,0 +1,94 @@
+"""Main-memory model: functional backing store plus latency parameters.
+
+The paper's simulated memory system (section 5) has an uncontended 200
+processor-cycle round-trip below the bus.  The backing store here is a
+sparse block-granular byte store: the secure-memory layer reads and writes
+real ciphertext blocks, counter blocks, and Merkle-code blocks, which is
+what makes the attack experiments (snooping the DRAM image, tampering with
+it, rolling counters back) meaningful.
+
+An off-chip adversary sees and may modify everything in this store; nothing
+in it is trusted.  The processor-side structures (caches, registers, the
+Merkle root) live elsewhere and are trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DRAMStats:
+    """Traffic counters for the memory device."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+class MainMemory:
+    """Sparse block-granular main memory with a fixed access latency.
+
+    ``read_block``/``write_block`` move whole cache blocks, mirroring the
+    bus transactions the timing model charges for.  Unwritten blocks read
+    as zero-fill, like freshly allocated physical pages.
+    """
+
+    def __init__(self, size_bytes: int = 512 * 1024 * 1024,
+                 block_size: int = 64, latency_cycles: int = 200):
+        self.size_bytes = size_bytes
+        self.block_size = block_size
+        self.latency_cycles = latency_cycles
+        self._blocks: dict[int, bytes] = {}
+        self.stats = DRAMStats()
+
+    def _check(self, address: int) -> None:
+        if address % self.block_size:
+            raise ValueError(
+                f"address {address:#x} not {self.block_size}-byte aligned"
+            )
+        if not 0 <= address < self.size_bytes:
+            raise ValueError(
+                f"address {address:#x} outside {self.size_bytes}-byte memory"
+            )
+
+    def read_block(self, address: int) -> bytes:
+        """Fetch one block; absent blocks read as zeros."""
+        self._check(address)
+        self.stats.reads += 1
+        return self._blocks.get(address, bytes(self.block_size))
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Store one block."""
+        self._check(address)
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"block must be {self.block_size} bytes, got {len(data)}"
+            )
+        self.stats.writes += 1
+        self._blocks[address] = bytes(data)
+
+    # -- adversary interface (used by repro.attacks) -----------------------
+
+    def peek(self, address: int) -> bytes:
+        """Read a block without touching statistics (bus snooper's view)."""
+        self._check(address)
+        return self._blocks.get(address, bytes(self.block_size))
+
+    def poke(self, address: int, data: bytes) -> None:
+        """Overwrite a block without touching statistics (active attacker)."""
+        self._check(address)
+        if len(data) != self.block_size:
+            raise ValueError("tampered block must be block-sized")
+        self._blocks[address] = bytes(data)
+
+    def stored_blocks(self) -> dict[int, bytes]:
+        """Snapshot of every block ever written — the attacker's recording."""
+        return dict(self._blocks)

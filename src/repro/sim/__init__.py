@@ -1,0 +1,22 @@
+"""Trace-driven timing simulation: processor, secure-memory timing, metrics."""
+
+from repro.sim.metrics import (
+    NormalizedResult,
+    arithmetic_mean,
+    geometric_mean,
+    run_normalized,
+)
+from repro.sim.processor import Processor, SimResult, simulate
+from repro.sim.timing_memory import MissTiming, TimingSecureMemory
+
+__all__ = [
+    "MissTiming",
+    "NormalizedResult",
+    "Processor",
+    "SimResult",
+    "TimingSecureMemory",
+    "arithmetic_mean",
+    "geometric_mean",
+    "run_normalized",
+    "simulate",
+]

@@ -1,0 +1,66 @@
+"""IPC normalization and experiment-level aggregation helpers.
+
+All performance results in the paper are *normalized IPC* — a scheme's IPC
+divided by the IPC of the same application on a machine with no memory
+encryption or authentication.  These helpers run the baseline and scheme
+configurations over identical traces and compute the ratios and the
+averages the figures report (averages in the paper are over all 21
+benchmarks even when only a subset is plotted individually).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SecureMemoryConfig, baseline_config
+from repro.sim.processor import SimResult, simulate
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class NormalizedResult:
+    """One (application, scheme) cell of a figure."""
+
+    app: str
+    scheme: str
+    baseline: SimResult
+    result: SimResult
+
+    @property
+    def normalized_ipc(self) -> float:
+        if self.baseline.ipc == 0:
+            return 0.0
+        return self.result.ipc / self.baseline.ipc
+
+    @property
+    def overhead(self) -> float:
+        """IPC overhead as a fraction (paper: '5% overhead' = 0.95 nIPC)."""
+        return 1.0 - self.normalized_ipc
+
+
+def run_normalized(config: SecureMemoryConfig, trace: Trace,
+                   baseline: SimResult | None = None,
+                   warmup_refs: int = 0, **kwargs) -> NormalizedResult:
+    """Simulate a scheme and its no-protection baseline on one trace."""
+    if baseline is None:
+        baseline = simulate(baseline_config(), trace,
+                            warmup_refs=warmup_refs, **kwargs)
+    result = simulate(config, trace, warmup_refs=warmup_refs, **kwargs)
+    return NormalizedResult(app=trace.name, scheme=config.name,
+                            baseline=baseline, result=result)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (well-suited to IPC ratios)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

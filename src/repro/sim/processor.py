@@ -1,0 +1,201 @@
+"""Trace-driven processor model with a bounded out-of-order window.
+
+Stands in for the paper's SESC-simulated 3-issue out-of-order core
+(section 5).  The model executes a memory-reference trace:
+
+* non-memory instructions retire at the issue width (3 per cycle);
+* L1 hits are free (their 2-cycle latency is fully pipelined);
+* L2 hits are likewise hidden by the out-of-order window;
+* L2 *load* misses enter an outstanding-miss window bounded by the number
+  of MSHRs and by a reorder-buffer instruction budget — the core keeps
+  running until either fills, which is what lets independent misses overlap
+  (memory-level parallelism) while still exposing latency that exceeds the
+  window;
+* store misses allocate and consume memory-system resources (bus, engines,
+  counter traffic) but drain through the store buffer without stalling
+  retirement;
+* dirty L2 evictions go to ``TimingSecureMemory.write_back``, whose only
+  direct stalls are the RSR conditions of section 4.2.
+
+The authentication policy (Lazy / Commit / Safe, Figure 8) decides how much
+of each load's ``auth_done - data_ready`` gap is exposed on top of the data
+arrival before the load is considered complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.auth.policies import AuthPolicy, exposed_auth_latency
+from repro.core.config import (
+    DEFAULT_ISSUE_WIDTH,
+    DEFAULT_L1_ASSOC,
+    DEFAULT_L1_SIZE,
+    DEFAULT_L2_ASSOC,
+    DEFAULT_L2_SIZE,
+    SecureMemoryConfig,
+)
+from repro.memory.cache import Cache
+from repro.sim.timing_memory import TimingSecureMemory
+from repro.workloads.trace import Trace
+
+DEFAULT_ROB_INSNS = 128
+DEFAULT_MSHRS = 8
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing-simulation run."""
+
+    name: str
+    instructions: int
+    cycles: float
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+    writebacks: int
+    memory: TimingSecureMemory
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_misses / total if total else 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall time at the 5GHz clock of section 5."""
+        return self.cycles / 5e9
+
+
+class Processor:
+    """Bounded-window trace-driven core over a two-level cache hierarchy."""
+
+    def __init__(self, config: SecureMemoryConfig,
+                 issue_width: int = DEFAULT_ISSUE_WIDTH,
+                 rob_insns: int = DEFAULT_ROB_INSNS,
+                 mshrs: int = DEFAULT_MSHRS,
+                 l1_size: int = DEFAULT_L1_SIZE,
+                 l1_assoc: int = DEFAULT_L1_ASSOC,
+                 l2_size: int = DEFAULT_L2_SIZE,
+                 l2_assoc: int = DEFAULT_L2_ASSOC):
+        self.config = config
+        self.issue_width = issue_width
+        self.rob_insns = rob_insns
+        self.mshrs = mshrs
+        block = config.block_size
+        self.l1 = Cache(l1_size, l1_assoc, block, name="l1d")
+        self.l2 = Cache(l2_size, l2_assoc, block, name="l2")
+        self.memory = TimingSecureMemory(config, l2=self.l2)
+
+    def run(self, trace: Trace, warmup_refs: int = 0) -> SimResult:
+        """Execute a trace to completion and return timing statistics.
+
+        ``warmup_refs`` references are simulated first to warm the caches
+        (the paper fast-forwards 5 billion instructions before measuring);
+        statistics and the cycle/instruction baselines reset at the
+        boundary, so the result reflects warm-cache behaviour only.
+        """
+        l1 = self.l1
+        l2 = self.l2
+        memory = self.memory
+        policy = self.config.auth_policy
+        cpi = 1.0 / self.issue_width
+        block_mask = ~(self.config.block_size - 1)
+
+        cycle = 0.0
+        insns = 0
+        writebacks = 0
+        cycle0 = 0.0
+        insns0 = 0
+        # outstanding load misses: (completion_cycle, insn_index_at_issue)
+        outstanding: deque[tuple[float, int]] = deque()
+
+        gaps = trace.gaps
+        writes = trace.writes
+        addrs = trace.addrs
+
+        for i in range(len(addrs)):
+            if i == warmup_refs and warmup_refs:
+                cycle0 = cycle
+                insns0 = insns
+                writebacks = 0
+                l1.stats.reset()
+                l2.stats.reset()
+                memory.stats.reset()
+                memory.bus.stats.reset()
+                memory.aes.stats.reset()
+                memory.sha.stats.reset()
+                if memory.counter_cache is not None:
+                    memory.counter_cache.stats.reset()
+                if memory.node_cache is not None:
+                    memory.node_cache.stats.reset()
+                if memory.scheme is not None and hasattr(
+                        memory.scheme, "stats"):
+                    memory.scheme.stats.reset()
+            gap = gaps[i]
+            insns += gap + 1
+            cycle += (gap + 1) * cpi
+            address = addrs[i] & block_mask
+            is_write = writes[i]
+
+            if l1.access(address, write=is_write):
+                continue
+            evicted_l1 = l1.fill(address, dirty=is_write)
+            if evicted_l1 is not None and evicted_l1.dirty:
+                # L1 write-back lands in the L2 (on-chip, no bus traffic).
+                l2.access(evicted_l1.address, write=True)
+            if l2.access(address):
+                continue
+
+            # L2 miss: retire completed window entries, then make room.
+            while outstanding and outstanding[0][0] <= cycle:
+                outstanding.popleft()
+            while outstanding and (
+                len(outstanding) >= self.mshrs
+                or insns - outstanding[0][1] >= self.rob_insns
+            ):
+                cycle = max(cycle, outstanding[0][0])
+                outstanding.popleft()
+
+            timing = memory.read_miss(cycle, address)
+            eviction = l2.fill(address, dirty=is_write)
+            if eviction is not None and eviction.dirty:
+                writebacks += 1
+                stall = memory.write_back(cycle, eviction.address)
+                cycle = max(cycle, stall)
+
+            if is_write:
+                # Stores drain via the store buffer; the fetch has consumed
+                # bus/engine resources already, nothing enters the window.
+                continue
+            completion = timing.data_ready + exposed_auth_latency(
+                policy, timing.data_ready, timing.auth_done
+            )
+            outstanding.append((completion, insns))
+
+        # Drain: the last loads must complete.
+        if outstanding:
+            cycle = max(cycle, outstanding[-1][0])
+        return SimResult(
+            name=trace.name,
+            instructions=insns - insns0,
+            cycles=cycle - cycle0,
+            l1_hits=l1.stats.hits,
+            l1_misses=l1.stats.misses,
+            l2_hits=l2.stats.hits,
+            l2_misses=l2.stats.misses,
+            writebacks=writebacks,
+            memory=memory,
+        )
+
+
+def simulate(config: SecureMemoryConfig, trace: Trace,
+             warmup_refs: int = 0, **kwargs) -> SimResult:
+    """One-shot convenience: build a processor and run a trace."""
+    return Processor(config, **kwargs).run(trace, warmup_refs=warmup_refs)

@@ -1,0 +1,24 @@
+"""SPEC CPU 2000-like synthetic workloads for the timing simulator."""
+
+from repro.workloads.generators import WorkloadProfile, generate_trace
+from repro.workloads.spec2k import (
+    FAST_COUNTER_APPS,
+    MEMORY_BOUND,
+    PROFILES,
+    SPEC_APPS,
+    profile_for,
+    spec_trace,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "FAST_COUNTER_APPS",
+    "MEMORY_BOUND",
+    "PROFILES",
+    "SPEC_APPS",
+    "Trace",
+    "WorkloadProfile",
+    "generate_trace",
+    "profile_for",
+    "spec_trace",
+]

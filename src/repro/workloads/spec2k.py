@@ -1,0 +1,172 @@
+"""Per-benchmark profiles approximating the SPEC CPU 2000 suite (Table 1).
+
+The paper simulates 21 SPEC CPU 2000 applications (all but the Fortran-90
+ones).  We cannot run SPEC binaries, so each benchmark is represented by a
+:class:`WorkloadProfile` whose knobs are set from that application's
+published memory character:
+
+* the applications Figure 4 highlights as memory-bound (ammp, applu, art,
+  equake, mgrid, swim, wupwise, mcf, parser, twolf) get large streaming or
+  random working sets and low compute gaps — their L2 miss traffic is what
+  memory encryption/authentication taxes;
+* the Table 2 top-5 counter-growth apps (applu, art, equake, mcf, twolf)
+  get thrash components whose block counts and weights order their
+  fastest-counter rates the same way;
+* equake and twolf follow the paper's observation of *small* frequently
+  written-back sets with *below-average* total write-back rates;
+* the rest (bzip2, crafty, eon, gap, gcc, gzip, perlbmk, vortex, vpr,
+  apsi, mesa) are cache-resident and compute-bound.
+
+Absolute miss rates and counter rates are tuned to the reproduction's
+timing model, not to SPEC's exact numbers; DESIGN.md section 2 records the
+substitution argument.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generators import WorkloadProfile, generate_trace
+from repro.workloads.trace import Trace
+
+MB = 1024 * 1024
+
+#: the Figure-4/7/9 individually plotted memory-bound applications
+MEMORY_BOUND = (
+    "ammp", "applu", "art", "equake", "mgrid", "swim", "wupwise",
+    "mcf", "parser", "twolf",
+)
+
+#: Table 2's fastest-counter applications, in the paper's order
+FAST_COUNTER_APPS = ("applu", "art", "equake", "mcf", "twolf")
+
+
+def _compute_bound(name: str, gap: float = 5.0, hot_kb: int = 12,
+                   **kw) -> WorkloadProfile:
+    """Cache-resident profile: working set fits on-chip after warm-up."""
+    defaults = dict(
+        mean_gap=gap, write_fraction=0.30,
+        w_hot=0.89, w_stream=0.004, w_random=0.002, w_pages=0.1032,
+        w_thrash=0.0008,
+        hot_bytes=hot_kb * 1024, stream_bytes=64 * 1024,
+        random_bytes=64 * 1024, random_skew=3.0,
+        page_pool_pages=16, thrash_blocks=24, thrash_write_fraction=0.4,
+    )
+    defaults.update(kw)
+    return WorkloadProfile(name=name, **defaults)
+
+
+def _streaming_fp(name: str, stream_mb: int = 12, gap: float = 5.0,
+                  **kw) -> WorkloadProfile:
+    """SPECfp solver profile: element-wise sweeps over large arrays."""
+    defaults = dict(
+        mean_gap=gap, write_fraction=0.33,
+        w_hot=0.56, w_stream=0.22, w_random=0.02, w_pages=0.19,
+        w_thrash=0.006,
+        hot_bytes=16 * 1024, stream_bytes=stream_mb * MB,
+        random_bytes=2 * MB, random_skew=2.5, page_pool_pages=128,
+        thrash_blocks=12, thrash_write_fraction=0.8,
+    )
+    defaults.update(kw)
+    return WorkloadProfile(name=name, **defaults)
+
+
+PROFILES: dict[str, WorkloadProfile] = {
+    # ---- SPECfp 2000 ------------------------------------------------------
+    "applu": _streaming_fp("applu", stream_mb=14, w_thrash=0.016,
+                           thrash_blocks=12, thrash_write_fraction=0.95),
+    "swim": _streaming_fp("swim", stream_mb=16, w_stream=0.26, w_hot=0.52,
+                          w_thrash=0.007),
+    "mgrid": _streaming_fp("mgrid", stream_mb=12, w_stream=0.20,
+                           w_thrash=0.006),
+    "wupwise": _streaming_fp("wupwise", stream_mb=10, w_stream=0.18,
+                             w_hot=0.60, w_thrash=0.006),
+    "equake": _streaming_fp(
+        # sparse solver: moderate streaming, small hot write-back set,
+        # below-average total write-back rate (write_fraction lowered)
+        "equake", stream_mb=8, gap=5.2, write_fraction=0.22,
+        w_stream=0.17, w_random=0.03, w_thrash=0.014,
+        thrash_blocks=12, thrash_write_fraction=0.95,
+    ),
+    "art": WorkloadProfile(
+        # neural-net scan: skewed random touches over a multi-MB array
+        name="art", mean_gap=4.4, write_fraction=0.30,
+        w_hot=0.61, w_stream=0.08, w_random=0.07, w_pages=0.225,
+        w_thrash=0.015, hot_bytes=16 * 1024, stream_bytes=4 * MB,
+        random_bytes=4 * MB, random_skew=2.2, page_pool_pages=96,
+        thrash_blocks=12, thrash_write_fraction=0.95,
+    ),
+    "ammp": WorkloadProfile(
+        name="ammp", mean_gap=5.0, write_fraction=0.32,
+        w_hot=0.61, w_stream=0.13, w_random=0.02, w_pages=0.23,
+        w_thrash=0.006, hot_bytes=24 * 1024, stream_bytes=6 * MB,
+        random_bytes=3 * MB, random_skew=2.5, page_pool_pages=128,
+        thrash_blocks=12, thrash_write_fraction=0.8,
+    ),
+    "apsi": _compute_bound("apsi", gap=4.0, hot_kb=24, w_stream=0.02,
+                           stream_bytes=512 * 1024, w_hot=0.83),
+    "mesa": _compute_bound("mesa", gap=4.5, hot_kb=20, w_pages=0.12,
+                           w_hot=0.79),
+    # ---- SPECint 2000 -----------------------------------------------------
+    "mcf": WorkloadProfile(
+        # pointer-chasing over a huge graph: dominated by random misses
+        name="mcf", mean_gap=4.2, write_fraction=0.26,
+        w_hot=0.53, w_stream=0.03, w_random=0.055, w_pages=0.373,
+        w_thrash=0.012, hot_bytes=16 * 1024, stream_bytes=2 * MB,
+        random_bytes=8 * MB, random_skew=1.0, page_pool_pages=128,
+        thrash_blocks=12, thrash_write_fraction=0.9,
+    ),
+    "parser": WorkloadProfile(
+        name="parser", mean_gap=5.0, write_fraction=0.30,
+        w_hot=0.58, w_stream=0.03, w_random=0.05, w_pages=0.335,
+        w_thrash=0.005, hot_bytes=24 * 1024, stream_bytes=1 * MB,
+        random_bytes=3 * MB, random_skew=2.8, page_pool_pages=96,
+        thrash_blocks=16, thrash_write_fraction=0.6,
+    ),
+    "twolf": WorkloadProfile(
+        # place-and-route: small hot structures rewritten constantly,
+        # modest overall traffic (below-average write-back rate)
+        name="twolf", mean_gap=4.8, write_fraction=0.24,
+        w_hot=0.60, w_stream=0.02, w_random=0.04, w_pages=0.329,
+        w_thrash=0.011, hot_bytes=20 * 1024, stream_bytes=1 * MB,
+        random_bytes=2 * MB, random_skew=2.6, page_pool_pages=144,
+        thrash_blocks=12, thrash_write_fraction=0.95,
+    ),
+    "vpr": _compute_bound("vpr", gap=3.6, hot_kb=20, w_pages=0.14,
+                          w_hot=0.71, w_random=0.015, random_bytes=256 * 1024),
+    "vortex": _compute_bound("vortex", gap=3.8, hot_kb=24, w_pages=0.14,
+                             w_hot=0.70),
+    "gcc": _compute_bound("gcc", gap=3.5, hot_kb=32, w_pages=0.16,
+                          w_hot=0.68, w_random=0.01, random_bytes=512 * 1024),
+    "gap": _compute_bound("gap", gap=4.2, hot_kb=16),
+    "gzip": _compute_bound("gzip", gap=4.6, hot_kb=12, w_stream=0.02,
+                           stream_bytes=512 * 1024),
+    "bzip2": _compute_bound("bzip2", gap=4.4, hot_kb=16, w_stream=0.025,
+                            stream_bytes=1 * MB),
+    "crafty": _compute_bound("crafty", gap=5.5, hot_kb=10),
+    "eon": _compute_bound("eon", gap=6.0, hot_kb=8),
+    "perlbmk": _compute_bound("perlbmk", gap=4.8, hot_kb=16),
+}
+
+SPEC_APPS: tuple[str, ...] = tuple(sorted(PROFILES))
+
+if len(SPEC_APPS) != 21:  # pragma: no cover - structural guarantee
+    raise RuntimeError(f"expected 21 SPEC profiles, found {len(SPEC_APPS)}")
+
+#: default measurement window (references) and warm-up prefix
+DEFAULT_TRACE_REFS = 120_000
+DEFAULT_WARMUP_REFS = 40_000
+
+
+def profile_for(app: str) -> WorkloadProfile:
+    """Look up a benchmark profile by SPEC application name."""
+    try:
+        return PROFILES[app]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {app!r}; choose from {', '.join(SPEC_APPS)}"
+        ) from None
+
+
+def spec_trace(app: str, num_refs: int = DEFAULT_TRACE_REFS,
+               seed: int = 1234) -> Trace:
+    """Generate the deterministic trace used for one benchmark."""
+    return generate_trace(profile_for(app), num_refs, seed=seed)

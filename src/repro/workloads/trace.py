@@ -1,0 +1,59 @@
+"""Memory-access trace format used by the timing simulator.
+
+A trace is three parallel lists (plain Python lists — the hot simulation
+loop indexes them far faster than boxed numpy scalars):
+
+* ``gaps[i]``   — non-memory instructions executed since the previous
+  memory reference (the i-th reference is one more instruction);
+* ``writes[i]`` — True for stores;
+* ``addrs[i]``  — byte address referenced.
+
+Traces are produced by :mod:`repro.workloads.generators` from per-benchmark
+profiles; they stand in for the SPEC CPU 2000 reference runs of the paper
+(see DESIGN.md for the substitution argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Trace:
+    """One benchmark's synthetic memory-reference stream."""
+
+    name: str
+    gaps: list[int]
+    writes: list[bool]
+    addrs: list[int]
+
+    def __post_init__(self) -> None:
+        if not (len(self.gaps) == len(self.writes) == len(self.addrs)):
+            raise ValueError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def instructions(self) -> int:
+        """Total instruction count (memory references + gap instructions)."""
+        return len(self.gaps) + sum(self.gaps)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.writes:
+            return 0.0
+        return sum(self.writes) / len(self.writes)
+
+    def footprint_blocks(self, block_size: int = 64) -> int:
+        """Distinct cache blocks touched."""
+        return len({a // block_size for a in self.addrs})
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Sub-trace covering references [start, stop)."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            gaps=self.gaps[start:stop],
+            writes=self.writes[start:stop],
+            addrs=self.addrs[start:stop],
+        )

@@ -1,0 +1,56 @@
+"""FigureTable rendering and persistence."""
+
+import os
+
+from repro.analysis.tables import FigureTable
+
+
+class TestFigureTable:
+    def test_set_get(self):
+        t = FigureTable(title="T")
+        t.set("row", "col", 0.5)
+        assert t.get("row", "col") == 0.5
+        assert t.get("row", "other") is None
+
+    def test_row_extraction(self):
+        t = FigureTable(title="T")
+        t.set("a", "x", 1.0)
+        t.set("a", "y", 2.0)
+        t.set("b", "x", 3.0)
+        assert t.row("a") == [1.0, 2.0]
+
+    def test_label_order_preserved(self):
+        t = FigureTable(title="T")
+        t.set("z", "c2", 1.0)
+        t.set("a", "c1", 2.0)
+        assert t.row_labels == ["z", "a"]
+        assert t.col_labels == ["c2", "c1"]
+
+    def test_render_contains_everything(self):
+        t = FigureTable(title="My Figure")
+        t.set("scheme", "app", 0.987)
+        t.notes.append("a note")
+        text = t.render()
+        assert "My Figure" in text
+        assert "scheme" in text
+        assert "0.987" in text
+        assert "a note" in text
+
+    def test_render_missing_cell_as_dash(self):
+        t = FigureTable(title="T")
+        t.set("a", "x", 1.0)
+        t.set("b", "y", 2.0)
+        assert "-" in t.render()
+
+    def test_save(self, tmp_path):
+        t = FigureTable(title="T")
+        t.set("a", "x", 1.0)
+        path = os.path.join(tmp_path, "sub", "out.txt")
+        t.save(path)
+        with open(path) as handle:
+            assert "T" in handle.read()
+
+    def test_custom_format(self):
+        t = FigureTable(title="T", value_format="{:,.0f}")
+        t.set("a", "x", 12345.6)
+        assert "12,346" in t.render()

@@ -1,0 +1,158 @@
+"""The hardware-attack suite against every relevant configuration.
+
+This is the security-claims matrix of the paper:
+
+* no protection        -> snooping and tampering succeed;
+* encryption only      -> snooping fails, tampering/replay undetected;
+* encryption + GCM/Merkle -> tampering, splicing, and replay detected;
+* counter replay (section 4.3) succeeds against data-only authentication
+  and is detected once counters are authenticated on every fetch.
+"""
+
+import pytest
+
+from repro.attacks import (
+    counter_replay_attack,
+    pad_reuse_probe,
+    replay_attack,
+    snoop_secrecy_attack,
+    splice_attack,
+    spoof_attack,
+)
+from repro.core import (
+    SecureMemorySystem,
+    baseline_config,
+    split_config,
+    split_gcm_config,
+    split_sha_config,
+)
+from repro.core.config import CounterOrg, make_counter_config
+
+SECRET = b"S3CRET-PAYLOAD!!".ljust(64, b"x")
+
+
+def protected_system(**cfg_kwargs):
+    return SecureMemorySystem(split_gcm_config(**cfg_kwargs),
+                              protected_bytes=64 * 1024, l2_size=4 * 1024)
+
+
+class TestSnooping:
+    def test_unprotected_leaks(self):
+        system = SecureMemorySystem(baseline_config(),
+                                    protected_bytes=64 * 1024,
+                                    l2_size=4 * 1024)
+        report = snoop_secrecy_attack(system, 0x400, SECRET)
+        assert report.succeeded
+
+    def test_encryption_hides(self):
+        system = SecureMemorySystem(split_config(),
+                                    protected_bytes=64 * 1024,
+                                    l2_size=4 * 1024)
+        report = snoop_secrecy_attack(system, 0x400, SECRET)
+        assert not report.succeeded
+
+
+class TestTampering:
+    def test_spoof_detected_with_auth(self):
+        report = spoof_attack(protected_system(), 0x100)
+        assert report.detected and not report.succeeded
+
+    def test_spoof_succeeds_without_auth(self):
+        system = SecureMemorySystem(split_config(),
+                                    protected_bytes=64 * 1024,
+                                    l2_size=4 * 1024)
+        report = spoof_attack(system, 0x100)
+        assert report.succeeded and not report.detected
+
+    def test_spoof_detected_with_sha_auth_too(self):
+        system = SecureMemorySystem(split_sha_config(),
+                                    protected_bytes=64 * 1024,
+                                    l2_size=4 * 1024)
+        report = spoof_attack(system, 0x100)
+        assert report.detected
+
+    def test_splice_detected(self):
+        report = splice_attack(protected_system(), 0x400, 0x440)
+        assert report.detected
+
+
+class TestReplay:
+    def test_data_replay_detected(self):
+        report = replay_attack(protected_system(), 0x200,
+                               b"old".ljust(64, b"\0"),
+                               b"new".ljust(64, b"\0"))
+        assert report.detected
+
+    def test_data_plus_code_replay_detected_by_tree(self):
+        """Replaying the MAC code block along with the data defeats a flat
+        MAC but not the Merkle tree."""
+        report = replay_attack(protected_system(), 0x300,
+                               b"old".ljust(64, b"\0"),
+                               b"new".ljust(64, b"\0"),
+                               replay_code_block=True)
+        assert report.detected
+
+    def test_replay_succeeds_without_auth(self):
+        system = SecureMemorySystem(split_config(),
+                                    protected_bytes=64 * 1024,
+                                    l2_size=4 * 1024)
+        report = replay_attack(system, 0x200,
+                               b"old".ljust(64, b"\0"),
+                               b"new".ljust(64, b"\0"))
+        assert report.succeeded and not report.detected
+
+
+class TestCounterReplay:
+    """Section 4.3's pitfall, end to end."""
+
+    V2 = b"\xaa" * 64
+    V3 = b"\x55" * 64
+
+    def _system(self, config):
+        return SecureMemorySystem(config, protected_bytes=512 * 1024,
+                                  l2_size=4 * 1024, l2_assoc=2)
+
+    def test_succeeds_against_encryption_only(self):
+        config = split_config(counter_cache_size=64, counter_cache_assoc=1)
+        report = counter_replay_attack(self._system(config), 0,
+                                       self.V2, self.V3,
+                                       scratch_base=128 * 1024)
+        assert report.succeeded and not report.detected
+        # the leaked relation is exactly ct2 ^ ct3 == pt2 ^ pt3
+        assert pad_reuse_probe(report.evidence["ciphertext_v2"], self.V2,
+                               report.evidence["ciphertext_v3"], self.V3)
+
+    def test_succeeds_against_data_only_authentication(self):
+        """The previously unnoticed flaw: GCM data authentication alone
+        does NOT stop the rollback, because the poisoned counter is
+        consumed by a write-back, not a verified read."""
+        config = split_gcm_config(counter_cache_size=64,
+                                  counter_cache_assoc=1,
+                                  authenticate_counters=False)
+        report = counter_replay_attack(self._system(config), 0,
+                                       self.V2, self.V3,
+                                       scratch_base=128 * 1024)
+        assert report.succeeded and not report.detected
+
+    def test_detected_with_counter_authentication(self):
+        """The paper's fix: counters are Merkle leaves, re-authenticated on
+        every fetch — the rollback is caught before the counter is used."""
+        config = split_gcm_config(counter_cache_size=64,
+                                  counter_cache_assoc=1)
+        report = counter_replay_attack(self._system(config), 0,
+                                       self.V2, self.V3,
+                                       scratch_base=128 * 1024)
+        assert report.detected and not report.succeeded
+
+    def test_global_counter_immune_by_construction(self):
+        """Section 6.1: a global counter never repeats values, so rolling
+        back the stored snapshot cannot force pad reuse on write-back
+        (write-backs use the on-chip global counter, not the snapshot)."""
+        config = make_counter_config(
+            CounterOrg.GLOBAL32, counter_cache_size=64,
+            counter_cache_assoc=1,
+        )
+        report = counter_replay_attack(self._system(config), 0,
+                                       self.V2, self.V3,
+                                       scratch_base=128 * 1024)
+        assert not report.succeeded

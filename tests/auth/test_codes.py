@@ -1,0 +1,96 @@
+"""Merkle-tree geometry: arity, level sizes, addressing, overheads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.auth.codes import build_geometry, merkle_levels_for_memory
+
+
+class TestArity:
+    def test_64bit_macs_give_arity_8(self):
+        assert build_geometry(1000, 64, 64).arity == 8
+
+    def test_128bit_macs_give_arity_4(self):
+        assert build_geometry(1000, 64, 128).arity == 4
+
+    def test_32bit_macs_give_arity_16(self):
+        assert build_geometry(1000, 64, 32).arity == 16
+
+    def test_rejects_mac_wider_than_block(self):
+        with pytest.raises(ValueError):
+            build_geometry(10, 16, 128)
+
+
+class TestLevels:
+    def test_single_leaf(self):
+        g = build_geometry(1, 64, 64)
+        assert g.depth == 1
+        assert g.level_sizes == (1, 1)
+
+    def test_exact_power(self):
+        g = build_geometry(64, 64, 64)  # 8-ary: 64 -> 8 -> 1
+        assert g.level_sizes == (64, 8, 1)
+        assert g.depth == 2
+
+    def test_rounding_up(self):
+        g = build_geometry(65, 64, 64)  # 65 -> 9 -> 2 -> 1
+        assert g.level_sizes == (65, 9, 2, 1)
+
+    def test_paper_example_1gb_128bit(self):
+        """Section 3: 128-bit codes over 1GB give a 12-level tree with a
+        33% space overhead."""
+        g = build_geometry((1 << 30) // 64, 64, 128)
+        assert g.depth == 12
+        assert g.storage_overhead == pytest.approx(1 / 3, rel=0.01)
+
+    def test_512mb_64bit_default(self):
+        depth = merkle_levels_for_memory(512 * 1024 * 1024, 64, 64)
+        assert depth == 8  # 8M leaves, 8-ary
+
+    def test_overhead_shrinks_with_smaller_macs(self):
+        leaves = (1 << 29) // 64
+        oh = {bits: build_geometry(leaves, 64, bits).storage_overhead
+              for bits in (32, 64, 128)}
+        assert oh[32] < oh[64] < oh[128]
+
+
+class TestNavigation:
+    def test_parent_and_slot(self):
+        g = build_geometry(64, 64, 64)
+        assert g.parent_index(0) == 0
+        assert g.parent_index(7) == 0
+        assert g.parent_index(8) == 1
+        assert g.slot_in_parent(13) == 5
+
+    def test_child_indices(self):
+        g = build_geometry(65, 64, 64)
+        assert list(g.child_indices(1, 8)) == [64]  # last, partial group
+
+    def test_node_region_blocks_are_dense_and_unique(self):
+        g = build_geometry(100, 64, 64)
+        seen = set()
+        for level in range(1, g.depth + 1):
+            for index in range(g.level_sizes[level]):
+                block = g.node_region_block(level, index)
+                assert block not in seen
+                seen.add(block)
+        assert seen == set(range(g.total_code_blocks))
+
+    def test_node_region_block_bounds(self):
+        g = build_geometry(100, 64, 64)
+        with pytest.raises(ValueError):
+            g.node_region_block(1, g.level_sizes[1])
+        with pytest.raises(ValueError):
+            g.level_offset_blocks(0)
+
+    @settings(max_examples=30)
+    @given(num_leaves=st.integers(min_value=1, max_value=100_000),
+           mac_bits=st.sampled_from([32, 64, 128]))
+    def test_every_parent_chain_reaches_root(self, num_leaves, mac_bits):
+        g = build_geometry(num_leaves, 64, mac_bits)
+        for leaf in (0, num_leaves // 2, num_leaves - 1):
+            index = g.parent_index(leaf)
+            for level in range(1, g.depth + 1):
+                assert 0 <= index < g.level_sizes[level]
+                index = g.parent_index(index)
+        assert g.level_sizes[-1] == 1

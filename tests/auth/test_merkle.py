@@ -1,0 +1,167 @@
+"""Functional Merkle tree: cached verification, lazy updates, detection."""
+
+import pytest
+
+from repro.auth.codes import build_geometry
+from repro.auth.merkle import IntegrityViolation, MerkleTree
+from repro.auth.schemes import GCMMACScheme, SHAMACScheme
+from repro.memory.dram import MainMemory
+
+NUM_LEAVES = 64
+BLOCK = 64
+
+
+def make_tree(mac="gcm", node_cache_bytes=2 * 1024, mac_bits=64):
+    geometry = build_geometry(NUM_LEAVES, BLOCK, mac_bits)
+    code_bytes = geometry.total_code_blocks * BLOCK
+    dram = MainMemory(size_bytes=NUM_LEAVES * BLOCK + code_bytes,
+                      block_size=BLOCK)
+    scheme = (GCMMACScheme(bytes(16), mac_bits) if mac == "gcm"
+              else SHAMACScheme(bytes(16), mac_bits))
+    tree = MerkleTree(geometry, scheme, dram,
+                      code_region_base=NUM_LEAVES * BLOCK,
+                      node_cache_bytes=node_cache_bytes)
+    return tree, dram
+
+
+def leaf_addr(index):
+    return index * BLOCK
+
+
+class TestVerifyUpdate:
+    def test_update_then_verify(self):
+        tree, _ = make_tree()
+        content = bytes(range(64))
+        tree.update_leaf(3, leaf_addr(3), 1, content)
+        tree.verify_leaf(3, leaf_addr(3), 1, content)  # must not raise
+
+    def test_verify_wrong_content_fails(self):
+        tree, _ = make_tree()
+        tree.update_leaf(3, leaf_addr(3), 1, bytes(64))
+        with pytest.raises(IntegrityViolation):
+            tree.verify_leaf(3, leaf_addr(3), 1, b"\x01" + bytes(63))
+
+    def test_verify_wrong_counter_fails(self):
+        tree, _ = make_tree()
+        tree.update_leaf(3, leaf_addr(3), 1, bytes(64))
+        with pytest.raises(IntegrityViolation):
+            tree.verify_leaf(3, leaf_addr(3), 2, bytes(64))
+
+    def test_verify_wrong_address_fails(self):
+        tree, _ = make_tree()
+        tree.update_leaf(3, leaf_addr(3), 1, bytes(64))
+        with pytest.raises(IntegrityViolation):
+            tree.verify_leaf(3, leaf_addr(4), 1, bytes(64))
+
+    def test_multiple_leaves_coexist(self):
+        tree, _ = make_tree()
+        for i in range(NUM_LEAVES):
+            tree.update_leaf(i, leaf_addr(i), i, bytes([i]) * 64)
+        for i in range(NUM_LEAVES):
+            tree.verify_leaf(i, leaf_addr(i), i, bytes([i]) * 64)
+
+    def test_sha_scheme_also_works(self):
+        tree, _ = make_tree(mac="sha")
+        tree.update_leaf(0, 0, 5, b"\xab" * 64)
+        tree.verify_leaf(0, 0, 5, b"\xab" * 64)
+
+
+class TestCachedTreeProtocol:
+    def test_verification_stops_at_cached_node(self):
+        tree, _ = make_tree()
+        tree.update_leaf(0, 0, 1, bytes(64))
+        fetches_before = tree.stats.node_fetches
+        tree.verify_leaf(0, 0, 1, bytes(64))
+        # parent is resident from the update: no node fetch needed
+        assert tree.stats.node_fetches == fetches_before
+
+    def test_flush_then_cold_verify(self):
+        """After flush + node-cache flush, verification walks the full
+        chain from DRAM up to the root register and succeeds."""
+        tree, _ = make_tree()
+        tree.update_leaf(0, 0, 1, b"\x42" * 64)
+        tree.flush()
+        tree.node_cache.flush()
+        tree.verify_leaf(0, 0, 1, b"\x42" * 64)
+        assert tree.stats.node_fetches > 0
+
+    def test_dirty_eviction_propagates_upward(self):
+        """A displaced dirty node updates its parent, bumping derivative
+        counters and node write-backs."""
+        geometry = build_geometry(NUM_LEAVES, BLOCK, 64)
+        code_bytes = geometry.total_code_blocks * BLOCK
+        dram = MainMemory(size_bytes=NUM_LEAVES * BLOCK + code_bytes,
+                          block_size=BLOCK)
+        # 4 lines, 2-way: the 8 level-1 nodes cannot all stay resident
+        tree = MerkleTree(geometry, GCMMACScheme(bytes(16), 64), dram,
+                          code_region_base=NUM_LEAVES * BLOCK,
+                          node_cache_bytes=256, node_cache_assoc=2)
+        for i in range(NUM_LEAVES):
+            tree.update_leaf(i, leaf_addr(i), 1, bytes([i]) * 64)
+        assert tree.stats.node_writebacks > 0
+        for i in range(NUM_LEAVES):
+            tree.verify_leaf(i, leaf_addr(i), 1, bytes([i]) * 64)
+
+    def test_chain_length_recorded(self):
+        tree, _ = make_tree()
+        tree.update_leaf(0, 0, 1, bytes(64))
+        tree.flush()
+        tree.node_cache.flush()
+        tree.verify_leaf(0, 0, 1, bytes(64))
+        assert sum(tree.stats.chain_lengths.values()) >= 1
+        assert max(tree.stats.chain_lengths) >= 1
+
+
+class TestTamperDetection:
+    def test_tampered_code_block_detected(self):
+        tree, dram = make_tree()
+        tree.update_leaf(0, 0, 1, bytes(64))
+        tree.flush()
+        tree.node_cache.flush()
+        # corrupt the level-1 node image in DRAM
+        node_address = tree.node_address(1, 0)
+        image = bytearray(dram.peek(node_address))
+        image[0] ^= 0x01
+        dram.poke(node_address, bytes(image))
+        with pytest.raises(IntegrityViolation):
+            tree.verify_leaf(0, 0, 1, bytes(64))
+        assert tree.stats.violations_detected >= 1
+
+    def test_replayed_code_block_detected_above(self):
+        """Rolling a written node back to an older valid image fails at
+        the next level up (its parent holds the newer MAC)."""
+        tree, dram = make_tree()
+        tree.update_leaf(0, 0, 1, bytes(64))
+        tree.flush()
+        node_address = tree.node_address(1, 0)
+        old_image = dram.peek(node_address)
+        tree.update_leaf(0, 0, 2, b"\x99" * 64)
+        tree.flush()
+        tree.node_cache.flush()
+        dram.poke(node_address, old_image)
+        with pytest.raises(IntegrityViolation):
+            tree.verify_leaf(0, 0, 2, b"\x99" * 64)
+
+    def test_virgin_nodes_ignore_dram_garbage(self):
+        """Never-written nodes are trusted zeros; garbage written to their
+        DRAM location before first use has no effect."""
+        tree, dram = make_tree()
+        dram.poke(tree.node_address(1, 1), b"\xff" * 64)
+        tree.update_leaf(8, leaf_addr(8), 1, bytes(64))
+        tree.verify_leaf(8, leaf_addr(8), 1, bytes(64))
+
+
+class TestRootRegister:
+    def test_root_changes_when_top_written(self):
+        tree, _ = make_tree(node_cache_bytes=512)
+        root0 = tree.root_register
+        for i in range(NUM_LEAVES):
+            tree.update_leaf(i, leaf_addr(i), 1, bytes([i]) * 64)
+        tree.flush()
+        assert tree.root_register != root0
+
+    def test_flush_makes_dram_self_contained(self):
+        tree, _ = make_tree()
+        tree.update_leaf(5, leaf_addr(5), 3, b"\x07" * 64)
+        tree.flush()
+        assert not any(True for _ in tree.node_cache.dirty_blocks())

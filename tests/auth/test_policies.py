@@ -1,0 +1,53 @@
+"""Authentication strictness policies: exposed-latency arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.auth.policies import (
+    COMMIT_HIDE_CYCLES,
+    AuthPolicy,
+    exposed_auth_latency,
+)
+
+times = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestPolicies:
+    def test_lazy_exposes_nothing(self):
+        assert exposed_auth_latency(AuthPolicy.LAZY, 100.0, 700.0) == 0.0
+
+    def test_safe_exposes_everything(self):
+        assert exposed_auth_latency(AuthPolicy.SAFE, 100.0, 700.0) == 600.0
+
+    def test_commit_hides_window(self):
+        exposed = exposed_auth_latency(AuthPolicy.COMMIT, 100.0, 700.0)
+        assert exposed == 600.0 - COMMIT_HIDE_CYCLES
+
+    def test_commit_fully_hides_short_auth(self):
+        assert exposed_auth_latency(AuthPolicy.COMMIT, 100.0, 150.0) == 0.0
+
+    def test_auth_before_data_is_free(self):
+        for policy in AuthPolicy:
+            assert exposed_auth_latency(policy, 500.0, 400.0) == 0.0
+
+    @given(data_ready=times, gap=times)
+    def test_strictness_ordering(self, data_ready, gap):
+        """lazy <= commit <= safe for every timing combination."""
+        auth_done = data_ready + gap
+        lazy = exposed_auth_latency(AuthPolicy.LAZY, data_ready, auth_done)
+        commit = exposed_auth_latency(AuthPolicy.COMMIT, data_ready,
+                                      auth_done)
+        safe = exposed_auth_latency(AuthPolicy.SAFE, data_ready, auth_done)
+        assert lazy <= commit <= safe
+
+    @given(data_ready=times, gap=times)
+    def test_exposure_never_exceeds_gap(self, data_ready, gap):
+        auth_done = data_ready + gap
+        for policy in AuthPolicy:
+            assert 0 <= exposed_auth_latency(
+                policy, data_ready, auth_done
+            ) <= gap + 1e-9
+
+    def test_custom_hide_window(self):
+        assert exposed_auth_latency(AuthPolicy.COMMIT, 0.0, 100.0,
+                                    commit_hide_cycles=30.0) == 70.0

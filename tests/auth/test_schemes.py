@@ -1,0 +1,50 @@
+"""MAC scheme objects: GCM vs SHA construction differences."""
+
+from repro.auth.schemes import GCMMACScheme, SHAMACScheme
+from repro.crypto.aes import AES128
+from repro.crypto.mac import gcm_block_mac, sha_block_mac
+
+BLOCK = b"\x5a" * 64
+KEY = bytes(range(16))
+
+
+class TestGCMScheme:
+    def test_matches_primitive(self):
+        scheme = GCMMACScheme(KEY, 64)
+        aes = AES128(KEY)
+        h = aes.encrypt_block(bytes(16))
+        assert scheme.compute(0x40, 7, BLOCK) == gcm_block_mac(
+            aes, h, 0x40, 7, BLOCK, 64
+        )
+
+    def test_name_and_width(self):
+        scheme = GCMMACScheme(KEY, 32)
+        assert scheme.name == "gcm"
+        assert scheme.mac_bytes == 4
+        assert len(scheme.compute(0, 0, BLOCK)) == 4
+
+
+class TestSHAScheme:
+    def test_matches_primitive(self):
+        scheme = SHAMACScheme(KEY, 64)
+        assert scheme.compute(0x40, 7, BLOCK) == sha_block_mac(
+            KEY, 0x40, 7, BLOCK, 64
+        )
+
+    def test_name(self):
+        assert SHAMACScheme(KEY).name == "sha1"
+
+
+class TestCrossScheme:
+    def test_schemes_disagree(self):
+        """GCM and SHA MACs of the same input differ (different keys and
+        algorithms) — configurations are not interchangeable mid-run."""
+        assert (GCMMACScheme(KEY).compute(0, 0, BLOCK)
+                != SHAMACScheme(KEY).compute(0, 0, BLOCK))
+
+    def test_both_sensitive_to_every_input(self):
+        for scheme in (GCMMACScheme(KEY), SHAMACScheme(KEY)):
+            base = scheme.compute(0, 0, BLOCK)
+            assert scheme.compute(64, 0, BLOCK) != base
+            assert scheme.compute(0, 1, BLOCK) != base
+            assert scheme.compute(0, 0, b"\x00" * 64) != base

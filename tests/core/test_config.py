@@ -1,0 +1,95 @@
+"""Configuration presets and derived properties."""
+
+import pytest
+
+from repro.auth.policies import AuthPolicy
+from repro.core.config import (
+    AuthMode,
+    CounterOrg,
+    EncryptionMode,
+    PRESETS,
+    baseline_config,
+    direct_config,
+    gcm_auth_config,
+    mono_config,
+    mono_sha_config,
+    prediction_config,
+    sha_auth_config,
+    split_config,
+    split_gcm_config,
+    xom_sha_config,
+)
+
+
+class TestPresets:
+    def test_all_presets_named_consistently(self):
+        for name, config in PRESETS.items():
+            assert config.name == name
+
+    def test_baseline_has_no_protection(self):
+        config = baseline_config()
+        assert config.encryption is EncryptionMode.NONE
+        assert config.auth is AuthMode.NONE
+        assert not config.uses_counters
+
+    def test_split_gcm_is_the_paper_default(self):
+        config = split_gcm_config()
+        assert config.encryption is EncryptionMode.COUNTER
+        assert config.counter_org is CounterOrg.SPLIT
+        assert config.auth is AuthMode.GCM
+        assert config.auth_policy is AuthPolicy.COMMIT
+        assert config.parallel_auth
+        assert config.mac_bits == 64
+        assert config.authenticate_counters
+
+    def test_mono_widths(self):
+        for bits, org in [(8, CounterOrg.MONO8), (16, CounterOrg.MONO16),
+                          (32, CounterOrg.MONO32), (64, CounterOrg.MONO64)]:
+            assert mono_config(bits).counter_org is org
+
+    def test_xom_is_direct_plus_sha(self):
+        config = xom_sha_config()
+        assert config.encryption is EncryptionMode.DIRECT
+        assert config.auth is AuthMode.SHA1
+
+    def test_prediction_engine_naming(self):
+        assert prediction_config().name == "pred"
+        assert prediction_config(aes_engines=2).name == "pred2eng"
+        assert prediction_config(aes_engines=2).aes_engines == 2
+
+    def test_sha_latency_parameterized(self):
+        assert sha_auth_config(160).sha_latency == 160
+        assert "160" in sha_auth_config(160).name
+
+
+class TestUsesCounters:
+    def test_counter_mode_uses_counters(self):
+        assert split_config().uses_counters
+
+    def test_gcm_auth_only_still_uses_counters(self):
+        """Figure 7: only GCM maintains per-block counters when no
+        encryption is used."""
+        assert gcm_auth_config().uses_counters
+
+    def test_sha_auth_only_does_not(self):
+        assert not sha_auth_config().uses_counters
+
+    def test_direct_does_not(self):
+        assert not direct_config().uses_counters
+        assert not xom_sha_config().uses_counters
+
+
+class TestUpdates:
+    def test_with_updates_returns_new_config(self):
+        base = split_gcm_config()
+        changed = base.with_updates(mac_bits=32)
+        assert changed.mac_bits == 32
+        assert base.mac_bits == 64
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            split_config().mac_bits = 128
+
+    def test_configs_hashable(self):
+        assert hash(split_config()) == hash(split_config())
+        assert {split_config(), split_config()} == {split_config()}

@@ -1,0 +1,61 @@
+"""Authentication-failure response policies (section 3)."""
+
+import pytest
+
+from repro.core.response import (
+    ResponseMode,
+    SystemHalted,
+    ViolationResponder,
+    expected_forgery_stall_cycles,
+)
+
+
+class TestExponentialStall:
+    def test_stalls_double(self):
+        responder = ViolationResponder(base_stall_cycles=100.0)
+        assert responder.on_violation() == 100.0
+        assert responder.on_violation() == 200.0
+        assert responder.on_violation() == 400.0
+        assert responder.total_stall_cycles == 700.0
+        assert responder.failures == 3
+
+    def test_cap(self):
+        responder = ViolationResponder(base_stall_cycles=1.0,
+                                       max_stall_cycles=8.0)
+        for _ in range(10):
+            stall = responder.on_violation()
+        assert stall == 8.0
+
+    def test_reset(self):
+        responder = ViolationResponder()
+        responder.on_violation()
+        responder.reset()
+        assert responder.failures == 0
+        assert responder.on_violation() == responder.base_stall_cycles
+
+
+class TestOtherModes:
+    def test_report_mode_never_stalls(self):
+        responder = ViolationResponder(mode=ResponseMode.REPORT)
+        for _ in range(5):
+            assert responder.on_violation() == 0.0
+        assert responder.failures == 5
+
+    def test_halt_mode_raises(self):
+        responder = ViolationResponder(mode=ResponseMode.HALT)
+        with pytest.raises(SystemHalted):
+            responder.on_violation()
+
+
+class TestSecurityArgument:
+    def test_small_macs_still_costly_to_forge(self):
+        """Even a 32-bit MAC makes brute-force forgery astronomically slow
+        under exponential stalls — the paper's justification for trading
+        MAC size for tree arity."""
+        cycles = expected_forgery_stall_cycles(32)
+        years_at_5ghz = cycles / 5e9 / (365.25 * 86400)
+        assert years_at_5ghz > 1e3
+
+    def test_wider_macs_no_cheaper(self):
+        assert (expected_forgery_stall_cycles(64)
+                >= expected_forgery_stall_cycles(32))

@@ -1,0 +1,84 @@
+"""Re-encryption status registers: allocation, done bits, timing helpers."""
+
+import pytest
+
+from repro.core.rsr import RSR, RSRFile
+
+
+class TestRSR:
+    def test_allocate_sets_state(self):
+        rsr = RSR(blocks_per_page=64)
+        rsr.allocate(page_index=3, old_major=7)
+        assert rsr.valid
+        assert rsr.page_index == 3
+        assert rsr.old_major == 7
+        assert rsr.remaining == 64
+
+    def test_double_allocate_rejected(self):
+        rsr = RSR(blocks_per_page=4)
+        rsr.allocate(0, 0)
+        with pytest.raises(RuntimeError):
+            rsr.allocate(1, 0)
+
+    def test_marking_all_done_frees(self):
+        rsr = RSR(blocks_per_page=4)
+        rsr.allocate(0, 0)
+        for slot in range(4):
+            rsr.mark_done(slot)
+        assert not rsr.valid
+        assert rsr.remaining == 0
+
+    def test_partial_done(self):
+        rsr = RSR(blocks_per_page=4)
+        rsr.allocate(0, 0)
+        rsr.mark_done(1)
+        rsr.mark_done(3)
+        assert rsr.valid
+        assert rsr.remaining == 2
+
+
+class TestRSRFile:
+    def test_find_by_page(self):
+        rsrs = RSRFile(num_rsrs=2, blocks_per_page=4)
+        rsrs.rsrs[0].allocate(5, 0)
+        assert rsrs.find(5) is rsrs.rsrs[0]
+        assert rsrs.find(6) is None
+
+    def test_find_free(self):
+        rsrs = RSRFile(num_rsrs=2, blocks_per_page=4)
+        rsrs.rsrs[0].allocate(5, 0)
+        assert rsrs.find_free() is rsrs.rsrs[1]
+        rsrs.rsrs[1].allocate(6, 0)
+        assert rsrs.find_free() is None
+
+    def test_active_count(self):
+        rsrs = RSRFile(num_rsrs=8, blocks_per_page=4)
+        assert rsrs.active_count == 0
+        rsrs.rsrs[0].allocate(1, 0)
+        rsrs.rsrs[3].allocate(2, 0)
+        assert rsrs.active_count == 2
+
+    def test_expire_frees_completed(self):
+        rsrs = RSRFile(num_rsrs=2, blocks_per_page=4)
+        rsrs.rsrs[0].allocate(1, 0, busy_until=100.0)
+        rsrs.rsrs[1].allocate(2, 0, busy_until=200.0)
+        rsrs.expire(150.0)
+        assert not rsrs.rsrs[0].valid
+        assert rsrs.rsrs[1].valid
+
+    def test_earliest_free_time(self):
+        rsrs = RSRFile(num_rsrs=2, blocks_per_page=4)
+        rsrs.rsrs[0].allocate(1, 0, busy_until=300.0)
+        rsrs.rsrs[1].allocate(2, 0, busy_until=100.0)
+        assert rsrs.earliest_free_time() == 100.0
+
+    def test_rejects_zero_rsrs(self):
+        with pytest.raises(ValueError):
+            RSRFile(num_rsrs=0)
+
+    def test_storage_is_small(self):
+        """Section 4.2: eight RSRs cost under 150 bytes of state — one
+        valid bit, a page tag, a 64-bit old major, and 64 done bits each."""
+        page_tag_bits = 17  # 512MB memory / 4KB pages = 2^17 pages
+        bits_per_rsr = 1 + page_tag_bits + 64 + 64  # valid+tag+major+done
+        assert 8 * bits_per_rsr / 8 < 150

@@ -1,0 +1,99 @@
+"""Monolithic per-block counters and their full-re-encryption overflow."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counters.base import OverflowAction
+from repro.counters.monolithic import MonolithicCounterScheme
+
+
+class TestBasics:
+    @pytest.mark.parametrize("bits,per_block", [(8, 64), (16, 32),
+                                                (32, 16), (64, 8)])
+    def test_layout(self, bits, per_block):
+        scheme = MonolithicCounterScheme(bits)
+        assert scheme.data_blocks_per_counter_block == per_block
+        assert scheme.bits_per_block == bits
+        assert scheme.name == f"mono{bits}b"
+
+    def test_rejects_odd_widths(self):
+        with pytest.raises(ValueError):
+            MonolithicCounterScheme(12)
+
+    def test_increment_sequence(self):
+        scheme = MonolithicCounterScheme(8)
+        for expected in range(1, 5):
+            assert scheme.increment(0).counter == expected
+        assert scheme.counter_for_block(0) == 4
+
+    def test_counter_block_mapping(self):
+        scheme = MonolithicCounterScheme(64)  # 8 counters per block
+        assert scheme.counter_block_address(0) == 0
+        assert scheme.counter_block_address(7 * 64) == 0
+        assert scheme.counter_block_address(8 * 64) == 1
+
+
+class TestOverflow:
+    def test_wrap_requests_full_reencryption(self):
+        scheme = MonolithicCounterScheme(8)
+        for _ in range(255):
+            assert scheme.increment(0).action is OverflowAction.NONE
+        result = scheme.increment(0)
+        assert result.action is OverflowAction.FULL_REENCRYPTION
+        assert result.counter == 1
+        assert scheme.stats.overflows == 1
+
+    def test_counters_survive_until_caller_resets(self):
+        """The caller must decrypt everything under the old counters first,
+        so the wrap itself must not clear state."""
+        scheme = MonolithicCounterScheme(8)
+        scheme.increment(64)
+        for _ in range(256):
+            scheme.increment(0)
+        assert scheme.counter_for_block(64) == 1  # still intact
+
+    def test_reset_and_set(self):
+        scheme = MonolithicCounterScheme(8)
+        scheme.increment(0)
+        scheme.reset_all_counters()
+        assert scheme.counter_for_block(0) == 0
+        scheme.set_counter(0, 7)
+        assert scheme.counter_for_block(0) == 7
+        scheme.set_counter(0, 0)
+        assert scheme.counter_for_block(0) == 0
+
+    def test_fastest_counter(self):
+        scheme = MonolithicCounterScheme(16)
+        scheme.increment(0)
+        for _ in range(5):
+            scheme.increment(64)
+        assert scheme.fastest_counter() == 5
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64])
+    def test_roundtrip(self, bits):
+        scheme = MonolithicCounterScheme(bits)
+        per = scheme.data_blocks_per_counter_block
+        for i in range(per):
+            for _ in range(i % 5):
+                scheme.increment(i * 64)
+        image = scheme.encode_counter_block(0)
+        assert len(image) == 64
+        fresh = MonolithicCounterScheme(bits)
+        fresh.decode_counter_block(0, image)
+        for i in range(per):
+            assert fresh.counter_for_block(i * 64) == i % 5
+
+    @settings(max_examples=15)
+    @given(counts=st.lists(st.integers(min_value=0, max_value=200),
+                           min_size=8, max_size=8))
+    def test_roundtrip_property_64bit(self, counts):
+        scheme = MonolithicCounterScheme(64)
+        for i, n in enumerate(counts):
+            for _ in range(n):
+                scheme.increment(i * 64)
+        fresh = MonolithicCounterScheme(64)
+        fresh.decode_counter_block(0, scheme.encode_counter_block(0))
+        for i, n in enumerate(counts):
+            assert fresh.counter_for_block(i * 64) == n

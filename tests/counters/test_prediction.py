@@ -1,0 +1,81 @@
+"""Counter prediction scheme (Shi et al. baseline): accuracy dynamics."""
+
+import pytest
+
+from repro.counters.prediction import CounterPredictionScheme
+
+
+class TestPrediction:
+    def test_fresh_counters_predict_perfectly(self):
+        scheme = CounterPredictionScheme(depth=5)
+        correct, candidates = scheme.predict(0)
+        assert correct
+        assert candidates == [0, 1, 2, 3, 4]
+
+    def test_prediction_within_window(self):
+        scheme = CounterPredictionScheme(depth=5)
+        for _ in range(4):
+            scheme.increment(0)
+        correct, _ = scheme.predict(0)   # actual 4, window [0,5)
+        assert correct
+
+    def test_prediction_fails_beyond_window(self):
+        scheme = CounterPredictionScheme(depth=5)
+        for _ in range(5):
+            scheme.increment(0)
+        correct, _ = scheme.predict(0)   # actual 5, window [0,5)
+        assert not correct
+
+    def test_failed_prediction_resyncs_base(self):
+        scheme = CounterPredictionScheme(depth=5)
+        for _ in range(10):
+            scheme.increment(0)
+        scheme.predict(0)  # miss: base resyncs to 10
+        correct, candidates = scheme.predict(0)
+        assert correct
+        assert candidates[0] == 10
+
+    def test_page_sharing_causes_drift_misses(self):
+        """Blocks within one page share a base: uneven write rates make
+        the slower blocks unpredictable after a resync — the Figure 6b
+        decay mechanism."""
+        scheme = CounterPredictionScheme(depth=5, page_size=4096)
+        for _ in range(20):
+            scheme.increment(0)       # hot block races ahead
+        scheme.increment(64)          # cold block in the same page
+        scheme.predict(0)             # miss -> base = 20
+        correct, _ = scheme.predict(64)  # actual 1, window [20, 25)
+        assert not correct
+
+    def test_stats(self):
+        scheme = CounterPredictionScheme(depth=5)
+        scheme.predict(0)
+        for _ in range(9):
+            scheme.increment(0)
+        scheme.predict(0)
+        assert scheme.stats.predictions == 2
+        assert scheme.stats.correct == 1
+        assert scheme.stats.prediction_rate == pytest.approx(0.5)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            CounterPredictionScheme(depth=0)
+
+
+class TestLayout:
+    def test_64bit_counters(self):
+        scheme = CounterPredictionScheme()
+        assert scheme.bits_per_block == 64
+        assert scheme.data_blocks_per_counter_block == 8
+        # 64 bits per 64-byte block = 1/8 of memory (the paper's overhead)
+        assert scheme.storage_overhead() == pytest.approx(1 / 8)
+
+    def test_serialization_roundtrip(self):
+        scheme = CounterPredictionScheme()
+        for i in range(8):
+            for _ in range(i):
+                scheme.increment(i * 64)
+        fresh = CounterPredictionScheme()
+        fresh.decode_counter_block(0, scheme.encode_counter_block(0))
+        for i in range(8):
+            assert fresh.counter_for_block(i * 64) == i

@@ -1,0 +1,163 @@
+"""Split counters: geometry, overflow, serialization, RSR interplay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counters.base import OverflowAction
+from repro.counters.split import SplitCounterScheme
+
+
+class TestGeometry:
+    def test_default_packing_is_one_byte_per_block(self):
+        """64-bit major + 64 x 7-bit minors = exactly one 64-byte block."""
+        scheme = SplitCounterScheme()
+        assert scheme.blocks_per_page == 64
+        assert scheme.page_size == 4096
+        assert scheme.bits_per_block == 8
+        assert scheme.storage_overhead() == pytest.approx(1 / 64)
+
+    def test_32_byte_block_variant(self):
+        """The paper's other example: 32B blocks, 6-bit minors, 1KB pages."""
+        scheme = SplitCounterScheme(block_size=32, minor_bits=6)
+        assert scheme.page_size == 1024
+        assert scheme.blocks_per_page == 32
+
+    def test_page_of(self):
+        scheme = SplitCounterScheme()
+        assert scheme.page_of(0) == 0
+        assert scheme.page_of(4095) == 0
+        assert scheme.page_of(4096) == 1
+
+    def test_blocks_of_page(self):
+        scheme = SplitCounterScheme()
+        blocks = scheme.blocks_of_page(2)
+        assert len(blocks) == 64
+        assert blocks[0] == 8192
+        assert blocks[-1] == 8192 + 63 * 64
+
+    def test_counter_block_is_page(self):
+        scheme = SplitCounterScheme()
+        assert scheme.counter_block_address(4096 + 640) == 1
+        assert scheme.data_blocks_per_counter_block == 64
+
+    def test_rejects_bad_minor_bits(self):
+        with pytest.raises(ValueError):
+            SplitCounterScheme(minor_bits=0)
+
+
+class TestCounterValues:
+    def test_initial_counter_is_zero(self):
+        assert SplitCounterScheme().counter_for_block(0) == 0
+
+    def test_increment_concatenates(self):
+        scheme = SplitCounterScheme()
+        result = scheme.increment(0)
+        assert result.counter == 1  # major 0 << 7 | minor 1
+        assert result.action is OverflowAction.NONE
+
+    def test_counter_includes_major(self):
+        scheme = SplitCounterScheme(minor_bits=7)
+        scheme.begin_page_reencryption(0)  # major 0 -> 1
+        scheme.reset_minor(0)
+        result = scheme.increment(0)
+        assert result.counter == (1 << 7) | 1
+
+    def test_counter_with_major(self):
+        scheme = SplitCounterScheme(minor_bits=7)
+        scheme.increment(64)
+        assert scheme.counter_with_major(64, 5) == (5 << 7) | 1
+
+    def test_blocks_have_independent_minors(self):
+        scheme = SplitCounterScheme()
+        scheme.increment(0)
+        scheme.increment(0)
+        scheme.increment(64)
+        assert scheme.minor_counter(0) == 2
+        assert scheme.minor_counter(64) == 1
+
+
+class TestOverflow:
+    def test_minor_overflow_triggers_page_reencryption(self):
+        scheme = SplitCounterScheme(minor_bits=2)  # overflows after 3
+        for _ in range(3):
+            assert scheme.increment(0).action is OverflowAction.NONE
+        result = scheme.increment(0)
+        assert result.action is OverflowAction.PAGE_REENCRYPTION
+        assert result.page_address == 0
+        assert scheme.stats.minor_overflows == 1
+
+    def test_overflow_bumps_major_and_sets_minor_one(self):
+        scheme = SplitCounterScheme(minor_bits=2)
+        for _ in range(4):
+            result = scheme.increment(0)
+        assert scheme.major_counter(0) == 1
+        assert scheme.minor_counter(0) == 1
+        assert result.counter == (1 << 2) | 1
+
+    def test_overflow_preserves_other_minors(self):
+        """Other blocks keep their old minors until the RSR resets them —
+        they are still needed to decrypt under the old major."""
+        scheme = SplitCounterScheme(minor_bits=2)
+        scheme.increment(64)
+        scheme.increment(64)
+        for _ in range(4):
+            scheme.increment(0)
+        assert scheme.minor_counter(64) == 2
+
+    def test_begin_page_reencryption_returns_old_major(self):
+        scheme = SplitCounterScheme()
+        assert scheme.begin_page_reencryption(3) == 0
+        assert scheme.begin_page_reencryption(3) == 1
+        assert scheme.major_counter(3) == 2
+
+    def test_reset_minor(self):
+        scheme = SplitCounterScheme()
+        scheme.increment(0)
+        scheme.reset_minor(0)
+        assert scheme.minor_counter(0) == 0
+
+    def test_seed_uniqueness_across_overflow(self):
+        """No counter value may ever repeat for one block — the core
+        counter-mode security requirement across a page re-encryption."""
+        scheme = SplitCounterScheme(minor_bits=2)
+        seen = set()
+        for _ in range(20):
+            result = scheme.increment(0)
+            assert result.counter not in seen
+            seen.add(result.counter)
+
+
+class TestSerialization:
+    @settings(max_examples=20)
+    @given(increments=st.lists(st.integers(min_value=0, max_value=63),
+                               max_size=150))
+    def test_encode_decode_roundtrip(self, increments):
+        scheme = SplitCounterScheme(minor_bits=7)
+        for block_index in increments:
+            scheme.increment(block_index * 64)
+        image = scheme.encode_counter_block(0)
+        assert len(image) == 64
+
+        fresh = SplitCounterScheme(minor_bits=7)
+        fresh.decode_counter_block(0, image)
+        assert fresh.major_counter(0) == scheme.major_counter(0)
+        for block_index in range(64):
+            address = block_index * 64
+            assert (fresh.minor_counter(address)
+                    == scheme.minor_counter(address))
+
+    def test_decode_clears_stale_entries(self):
+        scheme = SplitCounterScheme()
+        scheme.increment(0)
+        scheme.decode_counter_block(0, bytes(64))
+        assert scheme.minor_counter(0) == 0
+
+    def test_rollback_image_restores_old_values(self):
+        """The counter-replay attack surface: decoding an old image must
+        faithfully restore the old (smaller) counter."""
+        scheme = SplitCounterScheme()
+        scheme.increment(0)
+        old_image = scheme.encode_counter_block(0)
+        scheme.increment(0)
+        scheme.decode_counter_block(0, old_image)
+        assert scheme.minor_counter(0) == 1

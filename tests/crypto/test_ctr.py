@@ -1,0 +1,103 @@
+"""Counter-mode seeds and pads: layout, uniqueness, and involution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import (
+    AUTHENTICATION_IV,
+    CHUNK_SIZE,
+    ENCRYPTION_IV,
+    ctr_transform,
+    generate_pads,
+    make_seed,
+    xor_bytes,
+)
+
+addresses = st.integers(min_value=0, max_value=2**40).map(lambda a: a * 16)
+counters = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestSeedLayout:
+    def test_seed_is_one_aes_block(self):
+        assert len(make_seed(0, 0, ENCRYPTION_IV)) == 16
+
+    def test_seed_fields(self):
+        seed = make_seed(0x12340, 0xABCD, ENCRYPTION_IV)
+        assert int.from_bytes(seed[0:6], "big") == 0x12340 // 16
+        assert int.from_bytes(seed[6:14], "big") == 0xABCD
+        assert int.from_bytes(seed[14:16], "big") == ENCRYPTION_IV
+
+    def test_rejects_misaligned_address(self):
+        with pytest.raises(ValueError):
+            make_seed(7, 0, ENCRYPTION_IV)
+
+    @given(addr=addresses, ctr=counters)
+    def test_iv_domain_separation(self, addr, ctr):
+        """The same (address, counter) never yields the same seed for
+        encryption and authentication pads — the pad-reuse requirement."""
+        assert (make_seed(addr, ctr, ENCRYPTION_IV)
+                != make_seed(addr, ctr, AUTHENTICATION_IV))
+
+    @given(addr=addresses, c1=counters, c2=counters)
+    def test_counter_separation(self, addr, c1, c2):
+        if c1 != c2:
+            assert (make_seed(addr, c1, ENCRYPTION_IV)
+                    != make_seed(addr, c2, ENCRYPTION_IV))
+
+    @given(a1=addresses, a2=addresses, ctr=counters)
+    def test_address_separation(self, a1, a2, ctr):
+        if a1 != a2:
+            assert (make_seed(a1, ctr, ENCRYPTION_IV)
+                    != make_seed(a2, ctr, ENCRYPTION_IV))
+
+
+class TestTransform:
+    @settings(max_examples=20)
+    @given(data=st.binary(min_size=64, max_size=64), ctr=counters)
+    def test_involution(self, data, ctr):
+        aes = AES128(bytes(16))
+        ct = ctr_transform(aes, 0x1000, ctr, data)
+        assert ctr_transform(aes, 0x1000, ctr, ct) == data
+
+    def test_same_counter_same_pad(self):
+        """Pad reuse is exactly what the attacker exploits: verify the
+        XOR relation holds so the attack tests rest on solid ground."""
+        aes = AES128(bytes(16))
+        p1, p2 = b"\xaa" * 64, b"\x55" * 64
+        c1 = ctr_transform(aes, 0, 5, p1)
+        c2 = ctr_transform(aes, 0, 5, p2)
+        assert xor_bytes(c1, c2) == xor_bytes(p1, p2)
+
+    def test_different_counters_break_relation(self):
+        aes = AES128(bytes(16))
+        p1, p2 = b"\xaa" * 64, b"\x55" * 64
+        c1 = ctr_transform(aes, 0, 5, p1)
+        c2 = ctr_transform(aes, 0, 6, p2)
+        assert xor_bytes(c1, c2) != xor_bytes(p1, p2)
+
+    def test_rejects_partial_chunks(self):
+        with pytest.raises(ValueError):
+            ctr_transform(AES128(bytes(16)), 0, 0, b"x" * 60)
+
+    def test_pads_match_manual_aes(self):
+        aes = AES128(bytes(16))
+        pads = generate_pads(aes, 0x2000, 9, 4)
+        assert len(pads) == 4
+        for i, pad in enumerate(pads):
+            seed = make_seed(0x2000 + i * CHUNK_SIZE, 9, ENCRYPTION_IV)
+            assert pad == aes.encrypt_block(seed)
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\xff\x00", b"\x0f\xf0") == b"\xf0\xf0"
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(a=st.binary(min_size=16, max_size=16),
+           b=st.binary(min_size=16, max_size=16))
+    def test_self_inverse(self, a, b):
+        assert xor_bytes(xor_bytes(a, b), b) == a

@@ -1,0 +1,135 @@
+"""AES-GCM against the McGrew-Viega / NIST test vectors, plus properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.gcm import AESGCM, AuthenticationError, constant_time_equal
+from repro.crypto.ghash import ghash, ghash_chunks
+
+
+class TestNISTVectors:
+    def test_case_1_empty(self):
+        gcm = AESGCM(bytes(16))
+        result = gcm.seal(bytes(12), b"")
+        assert result.ciphertext == b""
+        assert result.tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_zero_block(self):
+        gcm = AESGCM(bytes(16))
+        result = gcm.seal(bytes(12), bytes(16))
+        assert result.ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert result.tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_3_full_blocks(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        pt = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+        )
+        result = AESGCM(key).seal(iv, pt)
+        assert result.ciphertext.hex() == (
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+        )
+        assert result.tag.hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        pt = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+        )
+        aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+        result = AESGCM(key).seal(iv, pt, aad)
+        assert result.tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+    def test_non_96bit_iv(self):
+        # test case 6-style: IV handled via GHASH when not 12 bytes
+        gcm = AESGCM(bytes(16))
+        result = gcm.seal(bytes(8), bytes(16))
+        assert gcm.open(bytes(8), result.ciphertext, result.tag) == bytes(16)
+
+
+class TestAuthentication:
+    def test_open_rejects_bad_tag(self):
+        gcm = AESGCM(bytes(16))
+        result = gcm.seal(bytes(12), b"hello world!")
+        bad_tag = bytes(x ^ 1 for x in result.tag)
+        with pytest.raises(AuthenticationError):
+            gcm.open(bytes(12), result.ciphertext, bad_tag)
+
+    def test_open_rejects_tampered_ciphertext(self):
+        gcm = AESGCM(bytes(16))
+        result = gcm.seal(bytes(12), b"hello world!")
+        tampered = bytes([result.ciphertext[0] ^ 0x80]) + result.ciphertext[1:]
+        with pytest.raises(AuthenticationError):
+            gcm.open(bytes(12), tampered, result.tag)
+
+    def test_open_rejects_wrong_aad(self):
+        gcm = AESGCM(bytes(16))
+        result = gcm.seal(bytes(12), b"payload", aad=b"header-A")
+        with pytest.raises(AuthenticationError):
+            gcm.open(bytes(12), result.ciphertext, result.tag, aad=b"header-B")
+
+    def test_truncated_tag_lengths(self):
+        for tag_length in (4, 8, 12, 16):
+            gcm = AESGCM(bytes(16), tag_length=tag_length)
+            result = gcm.seal(bytes(12), b"data")
+            assert len(result.tag) == tag_length
+            assert gcm.open(bytes(12), result.ciphertext, result.tag) == b"data"
+
+    def test_rejects_bad_tag_length(self):
+        with pytest.raises(ValueError):
+            AESGCM(bytes(16), tag_length=2)
+
+
+class TestProperties:
+    @settings(max_examples=25)
+    @given(key=st.binary(min_size=16, max_size=16),
+           iv=st.binary(min_size=12, max_size=12),
+           plaintext=st.binary(max_size=200),
+           aad=st.binary(max_size=64))
+    def test_seal_open_roundtrip(self, key, iv, plaintext, aad):
+        gcm = AESGCM(key)
+        result = gcm.seal(iv, plaintext, aad)
+        assert gcm.open(iv, result.ciphertext, result.tag, aad) == plaintext
+
+    @settings(max_examples=25)
+    @given(plaintext=st.binary(min_size=1, max_size=64))
+    def test_ciphertext_length_matches(self, plaintext):
+        result = AESGCM(bytes(16)).seal(bytes(12), plaintext)
+        assert len(result.ciphertext) == len(plaintext)
+
+
+class TestGHASH:
+    def test_ghash_chunks_matches_manual_chain(self):
+        h = AES128(bytes(16)).encrypt_block(bytes(16))
+        chunks = [bytes([i] * 16) for i in range(4)]
+        from repro.crypto.gf128 import block_to_int, gf128_mul, int_to_block
+        y = 0
+        h_int = block_to_int(h)
+        for chunk in chunks:
+            y = gf128_mul(y ^ block_to_int(chunk), h_int)
+        assert ghash_chunks(h, chunks) == int_to_block(y)
+
+    def test_ghash_chunks_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            ghash_chunks(bytes(16), [b"short"])
+
+    def test_ghash_empty_inputs(self):
+        h = AES128(bytes(16)).encrypt_block(bytes(16))
+        assert len(ghash(h, b"", b"")) == 16
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal_content(self):
+        assert not constant_time_equal(b"abc", b"abd")
+
+    def test_unequal_length(self):
+        assert not constant_time_equal(b"abc", b"abcd")

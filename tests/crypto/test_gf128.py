@@ -1,0 +1,71 @@
+"""GF(2^128) field arithmetic properties (GHASH's multiplication)."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.gf128 import (
+    GF128Element,
+    block_to_int,
+    gf128_mul,
+    int_to_block,
+)
+
+elements = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert int_to_block(block_to_int(data)) == data
+
+    def test_rejects_wrong_length(self):
+        import pytest
+        with pytest.raises(ValueError):
+            block_to_int(b"short")
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_commutative(self, a, b):
+        assert gf128_mul(a, b) == gf128_mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_associative(self, a, b, c):
+        assert gf128_mul(gf128_mul(a, b), c) == gf128_mul(a, gf128_mul(b, c))
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributes_over_xor(self, a, b, c):
+        assert gf128_mul(a, b ^ c) == gf128_mul(a, b) ^ gf128_mul(a, c)
+
+    @given(a=elements)
+    def test_zero_annihilates(self, a):
+        assert gf128_mul(a, 0) == 0
+
+    def test_identity_element(self):
+        # In GCM bit ordering the multiplicative identity is the block with
+        # only its first bit set (x^0 -> MSB of byte 0).
+        one = 1 << 127
+        for value in (1, 0xDEADBEEF, (1 << 128) - 1):
+            assert gf128_mul(value, one) == value
+
+    @given(a=elements.filter(lambda x: x != 0),
+           b=elements.filter(lambda x: x != 0))
+    def test_no_zero_divisors(self, a, b):
+        assert gf128_mul(a, b) != 0
+
+
+class TestWrapper:
+    @given(a=elements, b=elements)
+    def test_element_ops_match_functions(self, a, b):
+        ea, eb = GF128Element(a), GF128Element(b)
+        assert (ea * eb).value == gf128_mul(a, b)
+        assert (ea + eb).value == a ^ b
+        assert (ea - eb).value == a ^ b  # characteristic 2
+
+    def test_bytes_roundtrip(self):
+        e = GF128Element(bytes(range(16)))
+        assert GF128Element(e.to_bytes()) == e
+
+    def test_rejects_out_of_range(self):
+        import pytest
+        with pytest.raises(ValueError):
+            GF128Element(1 << 128)

@@ -1,0 +1,77 @@
+"""Per-block authentication codes (GCM and SHA constructions)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.mac import (
+    VALID_MAC_BITS,
+    gcm_block_mac,
+    macs_per_block,
+    sha_block_mac,
+)
+
+BLOCK = bytes(range(64))
+
+
+def _gcm_env():
+    aes = AES128(bytes(16))
+    return aes, aes.encrypt_block(bytes(16))
+
+
+class TestGCMBlockMAC:
+    @pytest.mark.parametrize("bits", VALID_MAC_BITS)
+    def test_truncation(self, bits):
+        aes, h = _gcm_env()
+        assert len(gcm_block_mac(aes, h, 0, 0, BLOCK, bits)) == bits // 8
+
+    def test_rejects_invalid_width(self):
+        aes, h = _gcm_env()
+        with pytest.raises(ValueError):
+            gcm_block_mac(aes, h, 0, 0, BLOCK, 48)
+
+    def test_counter_sensitivity(self):
+        aes, h = _gcm_env()
+        assert (gcm_block_mac(aes, h, 0, 1, BLOCK)
+                != gcm_block_mac(aes, h, 0, 2, BLOCK))
+
+    def test_address_sensitivity(self):
+        aes, h = _gcm_env()
+        assert (gcm_block_mac(aes, h, 0, 1, BLOCK)
+                != gcm_block_mac(aes, h, 64, 1, BLOCK))
+
+    @settings(max_examples=20)
+    @given(data=st.binary(min_size=64, max_size=64))
+    def test_content_sensitivity(self, data):
+        aes, h = _gcm_env()
+        if data != BLOCK:
+            assert (gcm_block_mac(aes, h, 0, 1, data)
+                    != gcm_block_mac(aes, h, 0, 1, BLOCK))
+
+    def test_rejects_partial_chunks(self):
+        aes, h = _gcm_env()
+        with pytest.raises(ValueError):
+            gcm_block_mac(aes, h, 0, 0, b"x" * 60)
+
+
+class TestSHABlockMAC:
+    @pytest.mark.parametrize("bits", VALID_MAC_BITS)
+    def test_truncation(self, bits):
+        assert len(sha_block_mac(b"key", 0, 0, BLOCK, bits)) == bits // 8
+
+    def test_key_sensitivity(self):
+        assert (sha_block_mac(b"key-a", 0, 0, BLOCK)
+                != sha_block_mac(b"key-b", 0, 0, BLOCK))
+
+    def test_counter_and_address_sensitivity(self):
+        base = sha_block_mac(b"k", 0, 0, BLOCK)
+        assert sha_block_mac(b"k", 64, 0, BLOCK) != base
+        assert sha_block_mac(b"k", 0, 1, BLOCK) != base
+
+
+class TestArity:
+    def test_macs_per_block(self):
+        assert macs_per_block(64, 64) == 8
+        assert macs_per_block(64, 128) == 4
+        assert macs_per_block(64, 32) == 16
+        assert macs_per_block(32, 64) == 4

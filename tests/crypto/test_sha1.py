@@ -1,0 +1,75 @@
+"""SHA-1 against FIPS-180 vectors; HMAC-SHA1 against RFC 2202."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.sha1 import hmac_sha1, sha1
+
+
+class TestSHA1Vectors:
+    def test_empty(self):
+        assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_abc(self):
+        assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha1(msg).hex() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_exactly_64_bytes(self):
+        # forces the length encoding into a second block
+        digest = sha1(b"a" * 64)
+        assert digest.hex() == "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+
+    def test_million_a_prefix(self):
+        # 1000 'a's (the full million is too slow in pure Python)
+        assert sha1(b"a" * 1000).hex() == (
+            "291e9a6c66994949b57ba5e650361e98fc36b1ba"
+        )
+
+
+class TestHMACVectors:
+    def test_rfc2202_case_1(self):
+        key = b"\x0b" * 20
+        assert hmac_sha1(key, b"Hi There").hex() == (
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        )
+
+    def test_rfc2202_case_2(self):
+        assert hmac_sha1(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        )
+
+    def test_rfc2202_case_3(self):
+        assert hmac_sha1(b"\xaa" * 20, b"\xdd" * 50).hex() == (
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        )
+
+    def test_rfc2202_long_key(self):
+        key = b"\xaa" * 80  # longer than the block size: key gets hashed
+        msg = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert hmac_sha1(key, msg).hex() == (
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        )
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(message=st.binary(max_size=300))
+    def test_digest_length(self, message):
+        assert len(sha1(message)) == 20
+
+    @given(message=st.binary(max_size=128))
+    def test_deterministic(self, message):
+        assert sha1(message) == sha1(message)
+
+    @given(a=st.binary(max_size=64), b=st.binary(max_size=64))
+    def test_distinct_messages_distinct_digests(self, a, b):
+        if a != b:
+            assert sha1(a) != sha1(b)
+
+    @given(key=st.binary(min_size=1, max_size=100),
+           message=st.binary(max_size=100))
+    def test_hmac_key_sensitivity(self, key, message):
+        other = bytes([key[0] ^ 1]) + key[1:]
+        assert hmac_sha1(key, message) != hmac_sha1(other, message)

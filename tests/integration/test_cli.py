@@ -1,0 +1,48 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(*args):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=600)
+
+
+class TestCLI:
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "split+gcm" in out
+        assert "mono+sha" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        assert "mcf" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--app", "gzip", "--scheme", "split",
+                     "--refs", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized IPC" in out
+        assert "counter-cache hits" in out
+
+    def test_simulate_unknown_scheme(self, capsys):
+        assert main(["simulate", "--scheme", "rot13"]) == 2
+
+    def test_attack_detected_with_full_design(self, capsys):
+        assert main(["attack"]) == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+    def test_attack_succeeds_without_counter_auth(self, capsys):
+        assert main(["attack", "--no-counter-auth"]) == 1
+        assert "SUCCEEDED" in capsys.readouterr().out
+
+    def test_module_invocation(self):
+        result = run_cli("apps")
+        assert result.returncode == 0
+        assert "swim" in result.stdout

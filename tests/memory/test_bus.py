@@ -1,0 +1,92 @@
+"""Bus occupancy/contention model (128-bit @ 600MHz under a 5GHz core)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.bus import MemoryBus
+
+
+class TestTransferCycles:
+    def test_one_beat_is_16_bytes(self):
+        bus = MemoryBus()
+        assert bus.transfer_cycles(16) == pytest.approx(5000 / 600)
+
+    def test_64_byte_block_is_four_beats(self):
+        bus = MemoryBus()
+        assert bus.transfer_cycles(64) == pytest.approx(4 * 5000 / 600)
+
+    def test_partial_beat_rounds_up(self):
+        bus = MemoryBus()
+        assert bus.transfer_cycles(17) == bus.transfer_cycles(32)
+
+    def test_72_bytes_needs_five_beats(self):
+        # prediction-scheme transfers: 64B data + 8B counter
+        bus = MemoryBus()
+        assert bus.transfer_cycles(72) == pytest.approx(5 * 5000 / 600)
+
+
+class TestScheduling:
+    def test_idle_bus_starts_immediately(self):
+        bus = MemoryBus()
+        start, end = bus.schedule(100.0, 64)
+        assert start == 100.0
+        assert end == pytest.approx(100.0 + bus.transfer_cycles(64))
+
+    def test_back_to_back_transfers_queue(self):
+        bus = MemoryBus()
+        _, end1 = bus.schedule(0.0, 64)
+        start2, _ = bus.schedule(0.0, 64)
+        assert start2 == end1
+
+    def test_gap_leaves_bus_idle(self):
+        bus = MemoryBus()
+        bus.schedule(0.0, 64)
+        start, _ = bus.schedule(1000.0, 64)
+        assert start == 1000.0
+
+    def test_queue_cycles_accumulate(self):
+        bus = MemoryBus()
+        bus.schedule(0.0, 64)
+        bus.schedule(0.0, 64)
+        assert bus.stats.queue_cycles == pytest.approx(bus.transfer_cycles(64))
+
+    @settings(max_examples=30)
+    @given(requests=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e5),
+                  st.integers(min_value=1, max_value=256)),
+        min_size=1, max_size=50))
+    def test_no_overlapping_occupancy(self, requests):
+        """Transfers never overlap: each starts at or after the previous
+        one's end when issued in nondecreasing time order."""
+        bus = MemoryBus()
+        requests.sort(key=lambda r: r[0])
+        prev_end = 0.0
+        for now, nbytes in requests:
+            start, end = bus.schedule(now, nbytes)
+            assert start >= prev_end
+            assert start >= now
+            assert end == pytest.approx(start + bus.transfer_cycles(nbytes))
+            prev_end = end
+
+
+class TestUtilization:
+    def test_fully_busy(self):
+        bus = MemoryBus()
+        _, end = bus.schedule(0.0, 64)
+        assert bus.utilization(end) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        bus = MemoryBus()
+        _, end = bus.schedule(0.0, 64)
+        assert bus.utilization(2 * end) == pytest.approx(0.5)
+
+    def test_zero_elapsed(self):
+        assert MemoryBus().utilization(0) == 0.0
+
+    def test_reset(self):
+        bus = MemoryBus()
+        bus.schedule(0.0, 64)
+        bus.reset()
+        assert bus.stats.transactions == 0
+        start, _ = bus.schedule(0.0, 64)
+        assert start == 0.0

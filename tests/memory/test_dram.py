@@ -1,0 +1,75 @@
+"""Main-memory backing store: alignment, zero-fill, adversary interface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.dram import MainMemory
+
+
+class TestBasics:
+    def test_unwritten_reads_zero(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        assert mem.read_block(0) == bytes(64)
+
+    def test_write_read_roundtrip(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        data = bytes(range(64))
+        mem.write_block(128, data)
+        assert mem.read_block(128) == data
+
+    def test_rejects_misaligned(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        with pytest.raises(ValueError):
+            mem.read_block(10)
+        with pytest.raises(ValueError):
+            mem.write_block(10, bytes(64))
+
+    def test_rejects_out_of_range(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        with pytest.raises(ValueError):
+            mem.read_block(4096)
+
+    def test_rejects_wrong_block_length(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        with pytest.raises(ValueError):
+            mem.write_block(0, bytes(63))
+
+    def test_stats(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        mem.write_block(0, bytes(64))
+        mem.read_block(0)
+        mem.read_block(64)
+        assert mem.stats.reads == 2
+        assert mem.stats.writes == 1
+        assert mem.stats.accesses == 3
+
+
+class TestAdversaryInterface:
+    def test_peek_does_not_count(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        mem.write_block(0, b"\xaa" * 64)
+        before = mem.stats.accesses
+        assert mem.peek(0) == b"\xaa" * 64
+        assert mem.stats.accesses == before
+
+    def test_poke_overwrites_silently(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        mem.write_block(0, b"\xaa" * 64)
+        before = mem.stats.accesses
+        mem.poke(0, b"\x55" * 64)
+        assert mem.read_block(0) == b"\x55" * 64
+        assert mem.stats.accesses == before + 1  # only the read counted
+
+    def test_stored_blocks_snapshot(self):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        mem.write_block(0, b"\x01" * 64)
+        snapshot = mem.stored_blocks()
+        mem.write_block(0, b"\x02" * 64)
+        assert snapshot[0] == b"\x01" * 64  # snapshot is a copy
+
+    @settings(max_examples=20)
+    @given(data=st.binary(min_size=64, max_size=64))
+    def test_poke_then_peek(self, data):
+        mem = MainMemory(size_bytes=4096, block_size=64)
+        mem.poke(64, data)
+        assert mem.peek(64) == data

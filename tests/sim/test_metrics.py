@@ -1,0 +1,49 @@
+"""Normalization and aggregation helpers."""
+
+import pytest
+
+from repro.core.config import baseline_config, direct_config
+from repro.sim.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    run_normalized,
+)
+from repro.workloads.trace import Trace
+
+
+def miss_trace(n=200):
+    return Trace(name="t", gaps=[2] * n, writes=[False] * n,
+                 addrs=[i * 64 * 33 for i in range(n)])
+
+
+class TestNormalization:
+    def test_baseline_normalizes_to_one(self):
+        result = run_normalized(baseline_config(), miss_trace())
+        assert result.normalized_ipc == pytest.approx(1.0)
+        assert result.overhead == pytest.approx(0.0)
+
+    def test_direct_shows_overhead(self):
+        result = run_normalized(direct_config(), miss_trace())
+        assert 0 < result.normalized_ipc < 1
+        assert result.overhead == pytest.approx(1 - result.normalized_ipc)
+
+    def test_shared_baseline_reused(self):
+        from repro.sim.processor import simulate
+        trace = miss_trace()
+        base = simulate(baseline_config(), trace)
+        result = run_normalized(direct_config(), trace, baseline=base)
+        assert result.baseline is base
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_leq_arithmetic(self):
+        values = [0.5, 0.9, 0.99, 0.7]
+        assert geometric_mean(values) <= arithmetic_mean(values)

@@ -1,0 +1,115 @@
+"""Trace-driven processor: IPC arithmetic, window behaviour, determinism."""
+
+import pytest
+
+from repro.auth.policies import AuthPolicy
+from repro.core.config import (
+    baseline_config,
+    direct_config,
+    sha_auth_config,
+    split_config,
+)
+from repro.sim.processor import Processor, simulate
+from repro.workloads.trace import Trace
+
+
+def make_trace(addresses, writes=None, gap=2):
+    n = len(addresses)
+    return Trace(name="unit", gaps=[gap] * n,
+                 writes=writes or [False] * n, addrs=list(addresses))
+
+
+class TestBasics:
+    def test_all_hits_run_at_issue_width(self):
+        # one block, referenced repeatedly: first access misses, rest hit L1
+        trace = make_trace([0] * 1000, gap=2)
+        result = simulate(baseline_config(), trace)
+        # 3 instructions per reference at width 3 -> about 1 cycle each,
+        # plus one initial miss
+        assert result.ipc == pytest.approx(3.0, rel=0.15)
+
+    def test_misses_lower_ipc(self):
+        stride = 64
+        trace_hits = make_trace([0] * 500)
+        trace_misses = make_trace([i * stride * 33 for i in range(500)])
+        ipc_hits = simulate(baseline_config(), trace_hits).ipc
+        ipc_misses = simulate(baseline_config(), trace_misses).ipc
+        assert ipc_misses < ipc_hits / 2
+
+    def test_instruction_accounting(self):
+        trace = make_trace([0, 64, 128], gap=5)
+        result = simulate(baseline_config(), trace)
+        assert result.instructions == trace.instructions == 18
+
+    def test_determinism(self):
+        trace = make_trace([i * 64 for i in range(200)])
+        a = simulate(split_config(), trace)
+        b = simulate(split_config(), trace)
+        assert a.cycles == b.cycles
+
+    def test_seconds_at_5ghz(self):
+        trace = make_trace([0] * 10)
+        result = simulate(baseline_config(), trace)
+        assert result.seconds == pytest.approx(result.cycles / 5e9)
+
+
+class TestHierarchy:
+    def test_l1_filters_l2(self):
+        trace = make_trace([0, 0, 0, 64, 64])
+        result = simulate(baseline_config(), trace)
+        assert result.l1_hits == 3
+        assert result.l1_misses == 2
+        assert result.l2_misses == 2
+
+    def test_dirty_l2_evictions_write_back(self):
+        # write blocks mapping to one L2 set until they spill
+        stride = 2048 * 64  # L2 set stride for 1MB 8-way
+        addresses = [i * stride for i in range(10)] * 2
+        trace = make_trace(addresses, writes=[True] * 20)
+        result = simulate(baseline_config(), trace)
+        assert result.writebacks > 0
+
+    def test_overlap_window_hides_independent_misses(self):
+        """Ten independent misses back-to-back should cost far less than
+        ten serialized round trips (MLP through the MSHR window)."""
+        addresses = [i * 64 * 33 for i in range(10)]
+        trace = make_trace(addresses, gap=0)
+        result = simulate(baseline_config(), trace)
+        serialized = 10 * 235
+        assert result.cycles < serialized * 0.8
+
+
+class TestPolicyIntegration:
+    def test_safe_slower_than_lazy_under_sha(self):
+        addresses = [i * 64 * 33 for i in range(300)]
+        trace = make_trace(addresses)
+        lazy = simulate(sha_auth_config(auth_policy=AuthPolicy.LAZY), trace)
+        safe = simulate(sha_auth_config(auth_policy=AuthPolicy.SAFE), trace)
+        assert safe.cycles > lazy.cycles
+
+    def test_direct_slower_than_baseline(self):
+        addresses = [i * 64 * 33 for i in range(300)]
+        trace = make_trace(addresses)
+        base = simulate(baseline_config(), trace)
+        direct = simulate(direct_config(), trace)
+        assert direct.cycles > base.cycles
+
+
+class TestWarmup:
+    def test_warmup_excludes_cold_misses(self):
+        # phase 1 touches a working set; phase 2 re-touches it (warm)
+        working_set = [i * 64 for i in range(100)]
+        trace = make_trace(working_set * 3)
+        cold = simulate(baseline_config(), trace)
+        processor = Processor(baseline_config())
+        warm = processor.run(trace, warmup_refs=100)
+        assert warm.l2_misses < cold.l2_misses
+        assert warm.instructions < cold.instructions
+
+    def test_warmup_ipc_higher_for_warm_phase(self):
+        working_set = [i * 64 for i in range(200)]
+        trace = make_trace(working_set * 2)
+        cold_ipc = simulate(baseline_config(), trace).ipc
+        warm_ipc = simulate(baseline_config(), trace,
+                            warmup_refs=200).ipc
+        assert warm_ipc > cold_ipc

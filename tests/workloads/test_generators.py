@@ -1,0 +1,113 @@
+"""Synthetic trace generators: determinism, components, layout."""
+
+import pytest
+
+from repro.workloads.generators import (
+    BLOCK,
+    PAGE,
+    WorkloadProfile,
+    generate_trace,
+)
+
+
+def simple_profile(**kw):
+    defaults = dict(name="unit", mean_gap=2.0, write_fraction=0.3)
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        p = simple_profile()
+        a = generate_trace(p, 2000, seed=7)
+        b = generate_trace(p, 2000, seed=7)
+        assert a.addrs == b.addrs
+        assert a.writes == b.writes
+        assert a.gaps == b.gaps
+
+    def test_different_seed_differs(self):
+        p = simple_profile()
+        assert (generate_trace(p, 2000, seed=7).addrs
+                != generate_trace(p, 2000, seed=8).addrs)
+
+    def test_prefix_consistency(self):
+        """A longer trace extends the shorter one — the Figure 6b
+        cumulative-interval methodology depends on this."""
+        p = simple_profile()
+        short = generate_trace(p, 1000, seed=7)
+        long = generate_trace(p, 3000, seed=7)
+        assert long.addrs[:1000] == short.addrs
+
+
+class TestComponents:
+    def test_addresses_stay_in_footprint(self):
+        p = simple_profile()
+        trace = generate_trace(p, 3000)
+        assert max(trace.addrs) < p.footprint_bytes
+
+    def test_regions_do_not_overlap(self):
+        p = simple_profile()
+        layout = p.region_layout()
+        names = ["hot", "stream", "random", "pages", "thrash", "end"]
+        bases = [layout[n] for n in names]
+        assert bases == sorted(bases)
+
+    def test_hot_only_stays_in_hot_region(self):
+        p = simple_profile(w_hot=1.0, w_stream=0, w_random=0, w_pages=0,
+                           w_thrash=0, hot_bytes=4096)
+        trace = generate_trace(p, 1000)
+        assert all(a < 4096 for a in trace.addrs)
+
+    def test_stream_is_sequential(self):
+        p = simple_profile(w_hot=0, w_stream=1.0, w_random=0, w_pages=0,
+                           w_thrash=0, num_streams=1, stream_stride=8)
+        trace = generate_trace(p, 100)
+        deltas = [b - a for a, b in zip(trace.addrs, trace.addrs[1:])]
+        assert all(d == 8 for d in deltas)
+
+    def test_thrash_blocks_conflict_in_l2(self):
+        """Thrash addresses must map to one L2 set (the fast-counter
+        mechanism requires conflict evictions)."""
+        p = simple_profile(w_hot=0, w_stream=0, w_random=0, w_pages=0,
+                           w_thrash=1.0, thrash_blocks=12)
+        trace = generate_trace(p, 48)
+        num_sets = 1024 * 1024 // (8 * 64)
+        sets = {(a // BLOCK) % num_sets for a in trace.addrs}
+        assert len(sets) == 1
+        assert len(set(trace.addrs)) == 12
+
+    def test_page_component_respects_stride(self):
+        p = simple_profile(w_hot=0, w_stream=0, w_random=0, w_pages=1.0,
+                           w_thrash=0, page_pool_pages=4, page_stride=32)
+        trace = generate_trace(p, 500)
+        base = p.region_layout()["pages"]
+        pages = {(a - base) // PAGE for a in trace.addrs}
+        assert all(page % 32 == 0 for page in pages)
+
+    def test_write_fraction_approximate(self):
+        p = simple_profile(write_fraction=0.4)
+        trace = generate_trace(p, 5000)
+        assert 0.3 < trace.write_fraction < 0.5
+
+    def test_mean_gap_approximate(self):
+        p = simple_profile(mean_gap=4.0)
+        trace = generate_trace(p, 5000)
+        mean = sum(trace.gaps) / len(trace.gaps)
+        assert 3.0 < mean < 5.0
+
+    def test_rejects_zero_weights(self):
+        p = simple_profile(w_hot=0, w_stream=0, w_random=0, w_pages=0,
+                           w_thrash=0)
+        with pytest.raises(ValueError):
+            generate_trace(p, 10)
+
+    def test_random_skew_concentrates_head(self):
+        uniform = simple_profile(w_hot=0, w_stream=0, w_random=1.0,
+                                 w_pages=0, w_thrash=0, random_skew=1.0,
+                                 random_bytes=1024 * 1024)
+        skewed = simple_profile(name="unit2", w_hot=0, w_stream=0,
+                                w_random=1.0, w_pages=0, w_thrash=0,
+                                random_skew=3.0, random_bytes=1024 * 1024)
+        tu = generate_trace(uniform, 4000)
+        ts = generate_trace(skewed, 4000)
+        assert ts.footprint_blocks() < tu.footprint_blocks()

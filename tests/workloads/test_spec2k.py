@@ -1,0 +1,69 @@
+"""SPEC CPU 2000 profile suite: structure and qualitative character."""
+
+import pytest
+
+from repro.workloads.spec2k import (
+    FAST_COUNTER_APPS,
+    MEMORY_BOUND,
+    PROFILES,
+    SPEC_APPS,
+    profile_for,
+    spec_trace,
+)
+
+
+class TestSuiteStructure:
+    def test_twenty_one_apps(self):
+        """Table 1: 21 applications (Fortran-90 ones omitted)."""
+        assert len(SPEC_APPS) == 21
+
+    def test_expected_names_present(self):
+        expected = {
+            "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+            "parser", "perlbmk", "twolf", "vortex", "vpr",
+            "ammp", "apsi", "art", "applu", "equake", "mesa", "mgrid",
+            "swim", "wupwise",
+        }
+        assert set(SPEC_APPS) == expected
+
+    def test_memory_bound_subset(self):
+        assert set(MEMORY_BOUND) <= set(SPEC_APPS)
+        assert set(FAST_COUNTER_APPS) <= set(MEMORY_BOUND)
+
+    def test_profile_for_unknown_app(self):
+        with pytest.raises(KeyError):
+            profile_for("linpack")
+
+    def test_profiles_named_after_apps(self):
+        for app, profile in PROFILES.items():
+            assert profile.name == app
+
+
+class TestCharacter:
+    def test_memory_bound_have_larger_footprints(self):
+        mem = min(PROFILES[a].footprint_bytes for a in MEMORY_BOUND)
+        compute = [a for a in SPEC_APPS if a not in MEMORY_BOUND]
+        comp = max(PROFILES[a].footprint_bytes for a in compute)
+        assert mem > comp
+
+    def test_fast_counter_apps_have_thrash_weight(self):
+        for app in FAST_COUNTER_APPS:
+            assert PROFILES[app].w_thrash >= 0.01
+
+    def test_equake_twolf_write_rate_below_average(self):
+        """The paper notes their overall write-back rate is below average
+        despite their fast counters."""
+        avg = sum(p.write_fraction for p in PROFILES.values()) / 21
+        assert PROFILES["equake"].write_fraction < avg
+        assert PROFILES["twolf"].write_fraction < avg
+
+    def test_trace_generation(self):
+        trace = spec_trace("mcf", 5000)
+        assert len(trace) == 5000
+        assert trace.name == "mcf"
+
+    def test_traces_deterministic_per_app(self):
+        assert spec_trace("swim", 1000).addrs == spec_trace("swim", 1000).addrs
+
+    def test_apps_have_distinct_traces(self):
+        assert spec_trace("swim", 1000).addrs != spec_trace("mcf", 1000).addrs

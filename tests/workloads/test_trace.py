@@ -1,0 +1,39 @@
+"""Trace container: accounting and slicing."""
+
+import pytest
+
+from repro.workloads.trace import Trace
+
+
+class TestTrace:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Trace(name="bad", gaps=[1], writes=[], addrs=[0])
+
+    def test_instruction_count(self):
+        trace = Trace(name="t", gaps=[2, 3, 0], writes=[False] * 3,
+                      addrs=[0, 64, 128])
+        assert trace.instructions == 3 + 5
+
+    def test_write_fraction(self):
+        trace = Trace(name="t", gaps=[0] * 4,
+                      writes=[True, False, True, False],
+                      addrs=[0] * 4)
+        assert trace.write_fraction == 0.5
+
+    def test_write_fraction_empty(self):
+        trace = Trace(name="t", gaps=[], writes=[], addrs=[])
+        assert trace.write_fraction == 0.0
+
+    def test_footprint_blocks(self):
+        trace = Trace(name="t", gaps=[0] * 4, writes=[False] * 4,
+                      addrs=[0, 10, 64, 129])
+        assert trace.footprint_blocks() == 3
+
+    def test_slice(self):
+        trace = Trace(name="t", gaps=[1, 2, 3, 4], writes=[False] * 4,
+                      addrs=[0, 64, 128, 192])
+        sub = trace.slice(1, 3)
+        assert sub.addrs == [64, 128]
+        assert sub.gaps == [2, 3]
+        assert len(sub) == 2
