@@ -20,7 +20,8 @@ import os
 
 import pytest
 
-from repro.core.config import SecureMemoryConfig, baseline_config
+from repro.api import get_config
+from repro.core.config import SecureMemoryConfig
 from repro.sim.processor import SimResult, simulate
 from repro.workloads.spec2k import SPEC_APPS, spec_trace
 from repro.workloads.trace import Trace
@@ -66,7 +67,7 @@ class SimulationCache:
         return self._runs[key]
 
     def baseline(self, app: str, **kwargs) -> SimResult:
-        return self.run(app, baseline_config(), **kwargs)
+        return self.run(app, get_config("baseline"), **kwargs)
 
     def normalized_ipc(self, app: str, config: SecureMemoryConfig,
                        **kwargs) -> float:

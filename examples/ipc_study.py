@@ -12,15 +12,7 @@ Run:  python examples/ipc_study.py [app] [refs]
 
 import sys
 
-from repro.core import (
-    baseline_config,
-    direct_config,
-    mono_config,
-    mono_sha_config,
-    split_config,
-    split_gcm_config,
-)
-from repro.sim import simulate
+from repro.api import Experiment, get_config
 from repro.workloads import SPEC_APPS, spec_trace
 
 
@@ -35,29 +27,30 @@ def main() -> None:
     print(f"workload: {app}, {refs} memory references "
           f"({warmup} warm-up)\n")
     trace = spec_trace(app, refs)
-    baseline = simulate(baseline_config(), trace, warmup_refs=warmup)
-    print(f"baseline: IPC={baseline.ipc:.3f}, "
-          f"{baseline.l2_misses / baseline.instructions * 1000:.1f} L2 "
-          f"misses per kilo-instruction, bus utilization "
-          f"{baseline.memory.bus.utilization(baseline.cycles):.0%}\n")
 
-    schemes = [split_config(), mono_config(64), direct_config(),
-               split_gcm_config(), mono_sha_config()]
+    schemes = ["split", "mono64b", "direct", "split+gcm", "mono+sha"]
     header = (f"{'scheme':<12} {'norm. IPC':>9} {'overhead':>9} "
               f"{'ctr hit':>8} {'timely pads':>12} {'bus util':>9}")
-    print(header)
-    print("-" * len(header))
-    for config in schemes:
-        result = simulate(config, trace, warmup_refs=warmup)
-        nipc = result.ipc / baseline.ipc
-        memory = result.memory
-        counter_hit = (f"{memory.counter_cache.stats.hit_rate:.0%}"
-                       if memory.counter_cache else "-")
-        timely = (f"{memory.stats.pads.timely_rate:.0%}"
-                  if memory.stats.pads.pad_requests else "-")
-        print(f"{config.name:<12} {nipc:>9.3f} {1 - nipc:>8.1%} "
-              f"{counter_hit:>8} {timely:>12} "
-              f"{memory.bus.utilization(result.cycles):>9.0%}")
+    baseline = None
+    for name in schemes:
+        experiment = Experiment(get_config(name), trace, refs=refs,
+                                warmup_refs=warmup, baseline=baseline)
+        result = experiment.run()
+        if baseline is None:
+            baseline = experiment.baseline_result
+            print(f"baseline: IPC={baseline.ipc:.3f}, "
+                  f"{baseline.l2_misses / baseline.instructions * 1000:.1f} "
+                  f"L2 misses per kilo-instruction, bus utilization "
+                  f"{baseline.memory.bus.utilization(baseline.cycles):.0%}\n")
+            print(header)
+            print("-" * len(header))
+        counter_hit = (f"{result.counter_cache_hit_rate:.0%}"
+                       if result.counter_cache_hit_rate is not None else "-")
+        timely = (f"{result.timely_pad_rate:.0%}"
+                  if result.timely_pad_rate is not None else "-")
+        print(f"{result.scheme:<12} {result.normalized_ipc:>9.3f} "
+              f"{result.overhead:>8.1%} {counter_hit:>8} {timely:>12} "
+              f"{result.bus_utilization:>9.0%}")
 
     print("\nReading the table: split counters keep the counter-cache hit "
           "rate high and pads timely,\nso their overhead stays near the "

@@ -19,13 +19,20 @@ Layers:
 
 Quick start::
 
-    from repro import SecureMemorySystem, split_gcm_config
+    from repro import api
 
-    memory = SecureMemorySystem(split_gcm_config(), protected_bytes=1 << 20)
+    result = api.run("split+gcm", "mcf", refs=40_000)
+    print(result.normalized_ipc)
+
+    from repro import SecureMemorySystem
+
+    memory = SecureMemorySystem(api.get_config("split+gcm"),
+                                protected_bytes=1 << 20)
     memory.write(0x1000, b"secret payload")
     assert memory.read(0x1000, 14) == b"secret payload"
 """
 
+from repro import api
 from repro.core import (
     AuthMode,
     CounterOrg,
@@ -60,6 +67,7 @@ __all__ = [
     "SecureMemoryConfig",
     "SecureMemorySystem",
     "__version__",
+    "api",
     "baseline_config",
     "direct_config",
     "gcm_auth_config",

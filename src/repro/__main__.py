@@ -2,26 +2,45 @@
 
 Commands:
 
-* ``simulate --app mcf --scheme split+gcm [--refs N]`` — run one timing
-  simulation and print normalized IPC plus the memory-system statistics.
-* ``schemes`` — list the named configuration presets.
+* ``simulate --app mcf --scheme split+gcm [--refs N] [--json]`` — run one
+  timing simulation and print normalized IPC plus the memory-system
+  statistics (``--json`` emits one machine-readable object instead).
+* ``schemes [--json]`` — list the named configuration presets.
 * ``apps`` — list the SPEC CPU 2000-like workloads.
 * ``attack [--no-counter-auth]`` — stage the section-4.3 counter-replay
   attack and report detection.
+
+The CLI is a thin layer over :mod:`repro.api`; anything it prints is
+available programmatically from :class:`repro.api.ExperimentResult`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.core import PRESETS, SecureMemorySystem, split_gcm_config
-from repro.sim import simulate
-from repro.workloads import SPEC_APPS, spec_trace
+from repro import api
+from repro.core import SecureMemorySystem, split_gcm_config
+from repro.workloads import SPEC_APPS
 
 
-def _cmd_schemes(_args) -> int:
-    for name, config in PRESETS.items():
+def _cmd_schemes(args) -> int:
+    if args.json:
+        print(json.dumps({
+            name: {
+                "encryption": config.encryption.value,
+                "counters": config.counter_org.value,
+                "auth": config.auth.value,
+                "mac_bits": config.mac_bits,
+            }
+            for name, config in (
+                (n, api.get_config(n)) for n in api.list_configs()
+            )
+        }, indent=2))
+        return 0
+    for name in api.list_configs():
+        config = api.get_config(name)
         print(f"{name:<14} encryption={config.encryption.value:<8} "
               f"counters={config.counter_org.value:<10} "
               f"auth={config.auth.value}")
@@ -34,32 +53,30 @@ def _cmd_apps(_args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    if args.scheme not in PRESETS:
+    try:
+        config = api.get_config(args.scheme)
+    except KeyError as exc:
         print(f"unknown scheme {args.scheme!r}; see `python -m repro "
-              f"schemes`", file=sys.stderr)
+              f"schemes` ({exc.args[0]})", file=sys.stderr)
         return 2
-    trace = spec_trace(args.app, args.refs)
-    warmup = args.refs // 3
-    baseline = simulate(PRESETS["baseline"], trace, warmup_refs=warmup)
-    result = simulate(PRESETS[args.scheme], trace, warmup_refs=warmup)
-    nipc = result.ipc / baseline.ipc if baseline.ipc else 0.0
-    memory = result.memory
+    result = api.run(config, args.app, refs=args.refs)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
     print(f"app={args.app} scheme={args.scheme} refs={args.refs}")
-    print(f"  baseline IPC        : {baseline.ipc:.3f}")
+    print(f"  baseline IPC        : {result.baseline_ipc:.3f}")
     print(f"  scheme IPC          : {result.ipc:.3f}")
-    print(f"  normalized IPC      : {nipc:.3f}  (overhead {1 - nipc:.1%})")
+    print(f"  normalized IPC      : {result.normalized_ipc:.3f}  "
+          f"(overhead {result.overhead:.1%})")
     print(f"  L2 misses           : {result.l2_misses}")
-    print(f"  bus utilization     : "
-          f"{memory.bus.utilization(result.cycles):.0%}")
-    if memory.counter_cache is not None:
-        print(f"  counter-cache hits  : "
-              f"{memory.counter_cache.stats.hit_rate:.1%}")
-    if memory.stats.pads.pad_requests:
-        print(f"  timely pads         : {memory.stats.pads.timely_rate:.1%}")
-    reenc = memory.stats.reencryption
-    if reenc.page_reencryptions:
-        print(f"  page re-encryptions : {reenc.page_reencryptions} "
-              f"(mean {reenc.mean_page_cycles:,.0f} cycles)")
+    print(f"  bus utilization     : {result.bus_utilization:.0%}")
+    if result.counter_cache_hit_rate is not None:
+        print(f"  counter-cache hits  : {result.counter_cache_hit_rate:.1%}")
+    if result.timely_pad_rate is not None:
+        print(f"  timely pads         : {result.timely_pad_rate:.1%}")
+    if result.page_reencryptions:
+        print(f"  page re-encryptions : {result.page_reencryptions} "
+              f"(mean {result.mean_page_reencryption_cycles:,.0f} cycles)")
     return 0
 
 
@@ -85,12 +102,16 @@ def main(argv: list[str] | None = None) -> int:
                     "(ISCA 2006 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("schemes", help="list configuration presets")
+    schemes = sub.add_parser("schemes", help="list configuration presets")
+    schemes.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON object")
     sub.add_parser("apps", help="list workloads")
     sim = sub.add_parser("simulate", help="run one timing simulation")
     sim.add_argument("--app", default="swim", choices=SPEC_APPS)
     sim.add_argument("--scheme", default="split+gcm")
     sim.add_argument("--refs", type=int, default=60_000)
+    sim.add_argument("--json", action="store_true",
+                     help="emit one machine-readable JSON object")
     atk = sub.add_parser("attack", help="stage the counter-replay attack")
     atk.add_argument("--no-counter-auth", action="store_true",
                      help="disable counter authentication (the 4.3 flaw)")

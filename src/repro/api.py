@@ -1,0 +1,186 @@
+"""Unified experiment facade — the documented entry point for the repro.
+
+Everything an experiment needs lives behind three names:
+
+* :func:`get_config` — preset lookup by benchmark label, with typo
+  suggestions and keyword overrides
+  (``get_config("split+gcm", mac_bits=32)``).
+* :class:`Experiment` — one configuration bound to one workload; ``run()``
+  simulates it (plus the no-protection baseline on the identical trace for
+  normalization) and returns an :class:`ExperimentResult`.
+* :func:`run` — one-shot convenience wrapping the two above.
+
+The CLI (``python -m repro``), the pytest benchmarks, and the examples are
+all thin layers over this module.  The older per-scheme constructors
+(``split_gcm_config()`` and friends) and the raw ``PRESETS`` mapping remain
+available as back-compat shims, but new code should start here.
+
+Example::
+
+    from repro.api import run
+
+    result = run("split+gcm", "mcf", refs=40_000)
+    print(result.normalized_ipc, result.counter_cache_hit_rate)
+    print(result.to_dict())   # JSON-ready
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.core.config import PRESETS, SecureMemoryConfig
+from repro.sim import SimResult, simulate
+from repro.workloads import SPEC_APPS, spec_trace
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "get_config",
+    "list_configs",
+    "run",
+]
+
+
+def list_configs() -> list[str]:
+    """The preset labels accepted by :func:`get_config`, in display order."""
+    return list(PRESETS)
+
+
+def get_config(name: str, **overrides: Any) -> SecureMemoryConfig:
+    """Look up a preset by its benchmark label, optionally overriding fields.
+
+    Unknown labels raise :class:`KeyError` with close-match suggestions
+    (``get_config("spilt")`` → *did you mean 'split'?*).  Overrides go
+    through :meth:`SecureMemoryConfig.with_updates`, so they are validated
+    like any other construction.
+    """
+    try:
+        config = PRESETS[name]
+    except KeyError:
+        suggestions = difflib.get_close_matches(name, PRESETS, n=3)
+        hint = (
+            f"; did you mean {' or '.join(repr(s) for s in suggestions)}?"
+            if suggestions else ""
+        )
+        raise KeyError(
+            f"unknown config {name!r}{hint} "
+            f"(choose from: {', '.join(PRESETS)})"
+        ) from None
+    return config.with_updates(**overrides) if overrides else config
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Headline metrics of one simulated design point.
+
+    ``to_dict()`` returns the same fields as a JSON-ready mapping — this is
+    what ``python -m repro simulate --json`` prints, so harnesses consume
+    these names instead of scraping formatted text.
+    """
+
+    scheme: str
+    app: str
+    refs: int
+    ipc: float
+    baseline_ipc: float
+    normalized_ipc: float
+    overhead: float
+    cycles: float
+    instructions: int
+    l2_misses: int
+    bus_utilization: float
+    #: None when the scheme keeps no counter cache (e.g. baseline, direct)
+    counter_cache_hit_rate: float | None
+    #: None when the scheme never requested a decryption pad
+    timely_pad_rate: float | None
+    page_reencryptions: int
+    mean_page_reencryption_cycles: float
+    full_reencryptions: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class Experiment:
+    """One secure-memory configuration bound to one workload.
+
+    ``config`` is a :class:`SecureMemoryConfig` or a preset label;
+    ``workload`` is a SPEC-like app name (see ``repro.workloads.SPEC_APPS``)
+    or a prebuilt trace.  ``run()`` simulates the scheme and the baseline on
+    the identical trace and returns an :class:`ExperimentResult`; the raw
+    :class:`~repro.sim.SimResult` pair stays on ``.result`` /
+    ``.baseline_result`` for deeper inspection.
+    """
+
+    def __init__(self, config: SecureMemoryConfig | str,
+                 workload: Any = "swim", *, refs: int = 60_000,
+                 warmup_refs: int | None = None,
+                 baseline: SimResult | None = None):
+        self.config = get_config(config) if isinstance(config, str) else config
+        if isinstance(workload, str) and workload not in SPEC_APPS:
+            raise ValueError(
+                f"unknown app {workload!r}; choose from "
+                f"{', '.join(SPEC_APPS)}"
+            )
+        self.workload = workload
+        self.refs = refs
+        self.warmup_refs = refs // 3 if warmup_refs is None else warmup_refs
+        self.result: SimResult | None = None
+        #: pass a prior run's baseline to skip re-simulating it (it must
+        #: come from the identical trace for the normalization to be fair)
+        self.baseline_result: SimResult | None = baseline
+
+    def _trace(self):
+        if isinstance(self.workload, str):
+            return spec_trace(self.workload, self.refs)
+        return self.workload
+
+    def run(self) -> ExperimentResult:
+        trace = self._trace()
+        baseline = self.baseline_result
+        if baseline is None:
+            baseline = simulate(get_config("baseline"), trace,
+                                warmup_refs=self.warmup_refs)
+        result = simulate(self.config, trace, warmup_refs=self.warmup_refs)
+        self.baseline_result = baseline
+        self.result = result
+        memory = result.memory
+        nipc = result.ipc / baseline.ipc if baseline.ipc else 0.0
+        counter_cache = memory.counter_cache
+        pads = memory.stats.pads
+        reenc = memory.stats.reencryption
+        return ExperimentResult(
+            scheme=self.config.name,
+            app=(self.workload if isinstance(self.workload, str)
+                 else getattr(self.workload, "name", "custom-trace")),
+            refs=self.refs,
+            ipc=result.ipc,
+            baseline_ipc=baseline.ipc,
+            normalized_ipc=nipc,
+            overhead=1.0 - nipc,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            l2_misses=result.l2_misses,
+            bus_utilization=memory.bus.utilization(result.cycles),
+            counter_cache_hit_rate=(
+                counter_cache.stats.hit_rate
+                if counter_cache is not None else None
+            ),
+            timely_pad_rate=(
+                pads.timely_rate if pads.pad_requests else None
+            ),
+            page_reencryptions=reenc.page_reencryptions,
+            mean_page_reencryption_cycles=(
+                reenc.mean_page_cycles if reenc.page_reencryptions else 0.0
+            ),
+            full_reencryptions=reenc.full_reencryptions,
+        )
+
+
+def run(config: SecureMemoryConfig | str, workload: Any = "swim", *,
+        refs: int = 60_000, warmup_refs: int | None = None) -> ExperimentResult:
+    """One-shot: build an :class:`Experiment` and run it."""
+    return Experiment(config, workload, refs=refs,
+                      warmup_refs=warmup_refs).run()

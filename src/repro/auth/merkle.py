@@ -245,6 +245,50 @@ class MerkleTree:
         )
         self.node_cache.mark_dirty(self.node_address(1, parent))
 
+    # -- batched leaf protocol --------------------------------------------------
+    #
+    # Batch entries are regrouped so that leaves sharing a parent code block
+    # are processed back to back: the shared ancestor chain is fetched and
+    # verified once (by the first leaf of the group) and every sibling then
+    # finds it resident, regardless of how small the node cache is or how
+    # the caller interleaved addresses.  Groups run in first-seen order and
+    # leaves keep their relative order within a group, so the per-leaf
+    # results are identical to the equivalent scalar loop over the grouped
+    # sequence.
+
+    def _grouped_by_parent(self, items: list[tuple]) -> list[tuple]:
+        groups: dict[int, list[tuple]] = {}
+        for item in items:
+            parent = self.geometry.parent_index(item[0])
+            groups.setdefault(parent, []).append(item)
+        return [item for group in groups.values() for item in group]
+
+    def verify_leaves(self, items: list[tuple[int, int, int, bytes]]) -> int:
+        """Verify many fetched leaves with shared-ancestor deduplication.
+
+        ``items`` holds ``(leaf_index, leaf_address, counter, content)``
+        tuples.  Returns the total number of tree levels fetched across the
+        batch.  Raises :class:`IntegrityViolation` on the first mismatch
+        (in grouped order); earlier leaves of the batch have then already
+        been verified, later ones have not been examined.
+        """
+        total = 0
+        for leaf_index, leaf_address, counter, content in (
+                self._grouped_by_parent(items)):
+            total += self.verify_leaf(leaf_index, leaf_address, counter,
+                                      content)
+        return total
+
+    def update_leaves(self, items: list[tuple[int, int, int, bytes]]) -> None:
+        """Install many written-back leaves' MACs, deduplicating ancestors.
+
+        ``items`` holds ``(leaf_index, leaf_address, counter, content)``
+        tuples, regrouped as in :meth:`verify_leaves`.
+        """
+        for leaf_index, leaf_address, counter, content in (
+                self._grouped_by_parent(items)):
+            self.update_leaf(leaf_index, leaf_address, counter, content)
+
     def flush(self) -> None:
         """Write every dirty cached node back to DRAM (orderly shutdown).
 

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.auth.policies import AuthPolicy
+from repro.crypto.mac import VALID_MAC_BITS
 
 
 class EncryptionMode(enum.Enum):
@@ -103,6 +106,33 @@ class SecureMemoryConfig:
     aes_engines: int = 1
     sha_latency: float = 320.0
     sha_stages: int = 32
+
+    def __post_init__(self) -> None:
+        """Reject impossible design points at construction time.
+
+        A bad parameter would otherwise surface as a confusing failure deep
+        inside a simulation (a mis-sized Merkle arity, a counter cache the
+        set-index math cannot address, a zero-engine AES unit).
+        """
+        if self.mac_bits not in VALID_MAC_BITS:
+            raise ValueError(
+                f"mac_bits must be one of {VALID_MAC_BITS}, "
+                f"got {self.mac_bits}"
+            )
+        if not 1 <= self.minor_bits <= 16:
+            raise ValueError(
+                f"minor_bits must be in [1, 16], got {self.minor_bits}"
+            )
+        for label in ("counter_cache_size", "node_cache_size"):
+            size = getattr(self, label)
+            if size <= 0 or size & (size - 1):
+                raise ValueError(
+                    f"{label} must be a positive power of two, got {size}"
+                )
+        if self.aes_engines < 1:
+            raise ValueError(
+                f"aes_engines must be at least 1, got {self.aes_engines}"
+            )
 
     def with_updates(self, **changes) -> "SecureMemoryConfig":
         """Return a copy with the given fields replaced."""
@@ -202,8 +232,10 @@ def baseline_config(**kwargs) -> SecureMemoryConfig:
     return _cfg("baseline", **kwargs)
 
 
-#: every named preset, keyed by its benchmark label
-PRESETS = {
+#: every named preset, keyed by its benchmark label.  Read-only: presets are
+#: shared module state — derive variants with ``config.with_updates(...)`` or
+#: :func:`repro.api.get_config` overrides instead of mutating the mapping.
+PRESETS: Mapping[str, SecureMemoryConfig] = MappingProxyType({
     "baseline": baseline_config(),
     "split": split_config(),
     "mono8b": mono_config(8),
@@ -220,4 +252,4 @@ PRESETS = {
     "split+sha": split_sha_config(),
     "mono+sha": mono_sha_config(),
     "xom+sha": xom_sha_config(),
-}
+})

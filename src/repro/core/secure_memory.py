@@ -48,7 +48,7 @@ from repro.counters.monolithic import MonolithicCounterScheme
 from repro.counters.prediction import CounterPredictionScheme
 from repro.counters.split import SplitCounterScheme
 from repro.crypto.aes import AES128
-from repro.crypto.ctr import CHUNK_SIZE, ctr_transform
+from repro.crypto.ctr import CHUNK_SIZE, bulk_ctr_transform, ctr_transform
 from repro.crypto.sha1 import sha1
 from repro.memory.cache import Cache
 from repro.memory.dram import MainMemory
@@ -307,6 +307,64 @@ class SecureMemorySystem:
                 self._data_leaf_index(address), address, counter, ciphertext
             )
 
+    # -- batched fetch ---------------------------------------------------------
+
+    def _counter_block_index(self, address: int) -> int:
+        if self.counter_scheme is None:
+            return 0
+        return self.counter_scheme.counter_block_address(address)
+
+    def _fetch_blocks_bulk(self, addresses: list[int]) -> dict[int, bytearray]:
+        """Miss path for many distinct blocks: fetch, verify, decrypt in bulk.
+
+        ``addresses`` must be distinct and sorted so that blocks sharing a
+        counter block are adjacent — each counter block is then faulted
+        on-chip once per batch.  Merkle verification runs through
+        :meth:`~repro.auth.merkle.MerkleTree.verify_leaves` (shared-ancestor
+        dedup) and all counter-mode pads are generated with a single AES
+        dispatch.  Returns plaintext per address.
+        """
+        out: dict[int, bytearray] = {}
+        fetched: list[tuple[int, int, bytes]] = []  # (addr, counter, ct)
+        for address in addresses:
+            self.stats.reads += 1
+            if address not in self._materialized:
+                out[address] = bytearray(self.block_size)
+                continue
+            counter = self._counter_for(address, for_write=False)
+            fetched.append((address, counter, self.dram.read_block(address)))
+        if self.merkle is not None and fetched:
+            try:
+                self.merkle.verify_leaves([
+                    (self._data_leaf_index(address), address, counter,
+                     ciphertext)
+                    for address, counter, ciphertext in fetched
+                ])
+            except IntegrityViolation:
+                self.stats.integrity_violations += 1
+                raise
+        mode = self.config.encryption
+        if mode is EncryptionMode.COUNTER:
+            plaintexts = bulk_ctr_transform(self._data_aes, fetched)
+            for (address, _, _), plaintext in zip(fetched, plaintexts):
+                out[address] = bytearray(plaintext)
+        elif mode is EncryptionMode.DIRECT:
+            chunks = [
+                ciphertext[i:i + CHUNK_SIZE]
+                for _, _, ciphertext in fetched
+                for i in range(0, self.block_size, CHUNK_SIZE)
+            ]
+            plain_chunks = self._data_aes.decrypt_blocks(chunks)
+            per_block = self.block_size // CHUNK_SIZE
+            for n, (address, _, _) in enumerate(fetched):
+                out[address] = bytearray(
+                    b"".join(plain_chunks[n * per_block:(n + 1) * per_block])
+                )
+        else:
+            for address, _, ciphertext in fetched:
+                out[address] = bytearray(ciphertext)
+        return out
+
     # -- page re-encryption (split counters + RSR) -----------------------------
 
     def _page_reencrypt(self, page_index: int, triggering_address: int) -> None:
@@ -431,6 +489,77 @@ class SecureMemorySystem:
         eviction = self.l2.fill(address, dirty=True, payload=bytearray(data))
         if eviction is not None and eviction.dirty:
             self._write_back(eviction.address, bytes(eviction.payload))
+
+    def read_blocks(self, addresses: list[int]) -> list[bytes]:
+        """Read many blocks through the L2, batching the miss work.
+
+        Returns plaintexts in input order; each entry is byte-identical to
+        what the equivalent ``read_block`` loop would have returned.  Misses
+        are deduplicated and serviced sorted by counter block, so each
+        counter block faults on-chip at most once and all pads come from
+        one AES dispatch; Merkle chains are walked once per shared parent.
+        Cache/eviction order may differ from the scalar loop (hit/miss
+        statistics can shift), but every eviction runs the ordinary
+        write-back path, so DRAM always holds a consistent image.  On an
+        :class:`IntegrityViolation` the batch aborts without returning any
+        values.
+        """
+        for address in addresses:
+            self._check_data_address(address)
+        out: list[bytes | None] = [None] * len(addresses)
+        misses: dict[int, list[int]] = {}
+        for slot, address in enumerate(addresses):
+            if address in misses:
+                misses[address].append(slot)
+            elif self.l2.access(address):
+                out[slot] = bytes(self.l2.lookup(address).payload)
+            else:
+                misses[address] = [slot]
+        if misses:
+            pending = sorted(
+                misses, key=lambda a: (self._counter_block_index(a), a)
+            )
+            plaintexts = self._fetch_blocks_bulk(pending)
+            for address in pending:
+                plaintext = plaintexts[address]
+                data = bytes(plaintext)
+                for slot in misses[address]:
+                    out[slot] = data
+                eviction = self.l2.fill(address, payload=plaintext)
+                if eviction is not None and eviction.dirty:
+                    self._write_back(eviction.address, bytes(eviction.payload))
+        return out  # type: ignore[return-value]
+
+    def write_blocks(self, pairs: list[tuple[int, bytes]]) -> None:
+        """Write many blocks through the L2, batching the allocate work.
+
+        ``pairs`` holds ``(address, data)`` in program order; duplicate
+        addresses collapse last-write-wins, exactly as the equivalent
+        ``write_block`` loop would leave them.  Write-allocate fetches for
+        missing blocks are batched like :meth:`read_blocks`.
+        """
+        for address, data in pairs:
+            self._check_data_address(address)
+            if len(data) != self.block_size:
+                raise ValueError(f"data must be {self.block_size} bytes")
+        staged: dict[int, bytes] = {}   # miss staging, last write wins
+        for address, data in pairs:
+            if address in staged:
+                staged[address] = data
+            elif self.l2.access(address, write=True):
+                self.l2.lookup(address).payload[:] = data
+            else:
+                staged[address] = data
+        if staged:
+            pending = sorted(
+                staged, key=lambda a: (self._counter_block_index(a), a)
+            )
+            self._fetch_blocks_bulk(pending)  # write-allocate verification
+            for address in staged:  # preserve first-seen fill order
+                eviction = self.l2.fill(address, dirty=True,
+                                        payload=bytearray(staged[address]))
+                if eviction is not None and eviction.dirty:
+                    self._write_back(eviction.address, bytes(eviction.payload))
 
     def read(self, address: int, size: int) -> bytes:
         """Byte-granular read spanning blocks."""

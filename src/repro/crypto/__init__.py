@@ -10,19 +10,21 @@ Contents:
 * :mod:`repro.crypto.mac` — per-block authentication codes (GCM and SHA)
 """
 
-from repro.crypto.aes import AES128
+from repro.crypto.aes import AES128, decrypt_blocks, encrypt_blocks
 from repro.crypto.ctr import (
     AUTHENTICATION_IV,
     CHUNK_SIZE,
     ENCRYPTION_IV,
+    bulk_ctr_transform,
     ctr_transform,
     generate_pads,
     make_seed,
+    make_seeds,
     xor_bytes,
 )
 from repro.crypto.gcm import AESGCM, AuthenticationError, constant_time_equal
-from repro.crypto.gf128 import GF128Element, gf128_mul
-from repro.crypto.ghash import ghash, ghash_chunks
+from repro.crypto.gf128 import GF128Element, GF128Table, gf128_mul
+from repro.crypto.ghash import GHASH, ghash, ghash_chunks
 from repro.crypto.mac import gcm_block_mac, macs_per_block, sha_block_mac
 from repro.crypto.sha1 import hmac_sha1, sha1
 
@@ -34,8 +36,13 @@ __all__ = [
     "CHUNK_SIZE",
     "ENCRYPTION_IV",
     "GF128Element",
+    "GF128Table",
+    "GHASH",
+    "bulk_ctr_transform",
     "constant_time_equal",
     "ctr_transform",
+    "decrypt_blocks",
+    "encrypt_blocks",
     "generate_pads",
     "gf128_mul",
     "ghash",
@@ -44,6 +51,7 @@ __all__ = [
     "hmac_sha1",
     "macs_per_block",
     "make_seed",
+    "make_seeds",
     "sha1",
     "sha_block_mac",
     "xor_bytes",

@@ -1,10 +1,25 @@
 """AES-128 block cipher (FIPS-197), implemented from scratch.
 
 This module provides the functional encryption substrate for the secure
-memory system.  It is a straightforward table-driven implementation: the
-S-box is derived from the multiplicative inverse in GF(2^8) followed by the
-affine transform, exactly as specified in FIPS-197, and round transforms
-operate on a 16-byte state held as a flat list in column-major order.
+memory system.  Two implementations coexist:
+
+* A **table-driven kernel** — the hot path.  SubBytes, ShiftRows, and
+  MixColumns are folded into precomputed lookup tables (the classic
+  "T-table" construction, widened here to 16-bit *pair* tables so one round
+  is eight lookups and eight XORs over the whole 128-bit state held as a
+  Python int).  The round function is fully unrolled.  Pair tables are
+  built lazily on first cipher use so that importing the module (or running
+  the timing simulator, which never touches functional crypto) stays cheap.
+
+* A **scalar reference** — the original per-byte round loops, kept as
+  ``encrypt_block_scalar`` / ``decrypt_block_scalar``.  The test suite
+  cross-checks the table kernel against it, and the micro-benchmarks use it
+  as the before/after baseline.
+
+Bulk entry points (:meth:`AES128.encrypt_blocks`, :func:`encrypt_blocks`)
+amortize the key schedule, round-key unpacking, and Python dispatch across
+many blocks; the batched secure-memory paths route all pad generation
+through them.
 
 Only the 128-bit key size is implemented because the paper's hardware engine
 is a 128-bit AES pipeline.  Both the forward cipher (used for pad generation
@@ -13,6 +28,10 @@ only by direct encryption) are provided.
 """
 
 from __future__ import annotations
+
+import struct
+import types
+from typing import Iterable, Sequence
 
 BLOCK_SIZE = 16
 KEY_SIZE = 16
@@ -111,6 +130,9 @@ def expand_key(key: bytes) -> list[list[int]]:
     return round_keys
 
 
+# -- scalar reference transforms (the seed implementation) --------------------
+
+
 def _sub_bytes(state: list[int]) -> None:
     for i in range(16):
         state[i] = SBOX[state[i]]
@@ -163,18 +185,207 @@ def _add_round_key(state: list[int], round_key: list[int]) -> None:
         state[i] ^= round_key[i]
 
 
+# -- table-driven kernel -----------------------------------------------------
+#
+# The 16-byte state is packed into one 128-bit int, big-endian, in the same
+# column-major byte order as the scalar code (byte i = state[i] = column
+# i//4, row i%4).  For the forward cipher, byte i of the round input routes
+# through SubBytes, moves to column (c - r) mod 4 under ShiftRows, and
+# spreads over that column's four rows under MixColumns; the entire
+# per-byte contribution to the 128-bit round output is precomputed in
+# _ENC_BYTE[i][b].  The inverse cipher uses the *equivalent inverse cipher*
+# of FIPS-197 section 5.3.5 (InvSubBytes/InvShiftRows/InvMixColumns order
+# with InvMixColumns applied to the middle round keys), giving the same
+# one-lookup-per-byte structure via _DEC_BYTE[i][b].
+#
+# On first cipher use the byte tables are widened to pair tables indexed by
+# 16-bit halves of the state (8 lookups + 8 XORs per round instead of 16)
+# and the round function is generated fully unrolled.  The widening costs a
+# few hundred milliseconds and ~30MB once per process, which is why it is
+# deferred past import time.
+
+_MC_COEFF = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+_IMC_COEFF = ((14, 11, 13, 9), (9, 14, 11, 13), (13, 9, 14, 11),
+              (11, 13, 9, 14))
+
+
+def _build_byte_tables() -> tuple[list, list, list, list]:
+    enc = [[0] * 256 for _ in range(16)]
+    enc_final = [[0] * 256 for _ in range(16)]
+    dec = [[0] * 256 for _ in range(16)]
+    dec_final = [[0] * 256 for _ in range(16)]
+    for i in range(16):
+        c_in, r = divmod(i, 4)
+        c_enc = (c_in - r) % 4   # ShiftRows destination column
+        c_dec = (c_in + r) % 4   # InvShiftRows destination column
+        for b in range(256):
+            s = SBOX[b]
+            si = INV_SBOX[b]
+            v_enc = 0
+            v_dec = 0
+            for r_out in range(4):
+                v_enc |= gf_mul(s, _MC_COEFF[r_out][r]) << (
+                    8 * (15 - (4 * c_enc + r_out))
+                )
+                v_dec |= gf_mul(si, _IMC_COEFF[r_out][r]) << (
+                    8 * (15 - (4 * c_dec + r_out))
+                )
+            enc[i][b] = v_enc
+            dec[i][b] = v_dec
+            enc_final[i][b] = s << (8 * (15 - (4 * c_enc + r)))
+            dec_final[i][b] = si << (8 * (15 - (4 * c_dec + r)))
+    return enc, enc_final, dec, dec_final
+
+
+_ENC_BYTE, _ENC_FINAL_BYTE, _DEC_BYTE, _DEC_FINAL_BYTE = _build_byte_tables()
+
+_UNPACK_8H = struct.Struct(">8H").unpack
+
+
+def _widen(byte_tables: list) -> list:
+    """Combine adjacent byte tables into 65536-entry pair tables."""
+    out = []
+    for i in range(8):
+        hi, lo = byte_tables[2 * i], byte_tables[2 * i + 1]
+        out.append([hi[p >> 8] ^ lo[p & 255] for p in range(65536)])
+    return out
+
+
+def _compile_kernel_code():
+    """Compile the fully-unrolled ten-round cipher, once.
+
+    Every name the body uses — helper callables, the sixteen pair tables,
+    and the eleven round-key words — is a *parameter with a default*, so
+    per-key kernels are stamped out by rebinding ``__defaults__`` on the
+    shared code object (no exec, no compile, and no per-call tuple unpack:
+    the bound kernel takes the block as its sole argument and resolves
+    everything else as a local).
+    """
+    params = ["block", "frombytes=None", "unpack=None"]
+    params += [f"V{i}=None" for i in range(8)]
+    params += [f"F{i}=None" for i in range(8)]
+    params += [f"rk{r}=0" for r in range(NUM_ROUNDS + 1)]
+    body = [f"def _rounds({', '.join(params)}):",
+            "    s = frombytes(block, 'big') ^ rk0"]
+    lookups = " ^ ".join(f"V{i}[p{i}]" for i in range(8))
+    finals = " ^ ".join(f"F{i}[p{i}]" for i in range(8))
+    for rnd in range(1, NUM_ROUNDS):
+        body.append("    p0, p1, p2, p3, p4, p5, p6, p7 = "
+                    "unpack(s.to_bytes(16, 'big'))")
+        body.append(f"    s = rk{rnd} ^ {lookups}")
+    body.append("    p0, p1, p2, p3, p4, p5, p6, p7 = "
+                "unpack(s.to_bytes(16, 'big'))")
+    body.append(f"    s = rk10 ^ {finals}")
+    body.append("    return s.to_bytes(16, 'big')")
+    namespace: dict = {}
+    exec("\n".join(body), namespace)  # noqa: S102 - static generated source
+    fn = namespace["_rounds"]
+    return fn.__code__, fn.__globals__
+
+
+_KERNEL_CODE, _KERNEL_GLOBALS = _compile_kernel_code()
+
+# Pair tables for each direction, built lazily by _pair_tables().
+_enc_pair: tuple[list, list] | None = None
+_dec_pair: tuple[list, list] | None = None
+
+
+def _pair_tables(encrypt: bool) -> tuple[list, list]:
+    global _enc_pair, _dec_pair
+    if encrypt:
+        if _enc_pair is None:
+            _enc_pair = (_widen(_ENC_BYTE), _widen(_ENC_FINAL_BYTE))
+        return _enc_pair
+    if _dec_pair is None:
+        _dec_pair = (_widen(_DEC_BYTE), _widen(_DEC_FINAL_BYTE))
+    return _dec_pair
+
+
+def _bind_kernel(rk_words: tuple[int, ...], encrypt: bool):
+    """Stamp a per-key single-argument round function from the shared code."""
+    pair, pair_final = _pair_tables(encrypt)
+    defaults = (int.from_bytes, _UNPACK_8H, *pair, *pair_final, *rk_words)
+    return types.FunctionType(_KERNEL_CODE, _KERNEL_GLOBALS, "_rounds",
+                              defaults)
+
+
 class AES128:
     """AES-128 cipher bound to a single key.
 
     The key schedule is computed once at construction; ``encrypt_block`` and
-    ``decrypt_block`` then operate on 16-byte blocks.
+    ``decrypt_block`` then operate on 16-byte blocks, and
+    ``encrypt_blocks`` / ``decrypt_blocks`` amortize dispatch over many.
     """
+
+    __slots__ = ("key", "_round_keys", "_rk_enc", "_rk_dec",
+                 "_enc_kernel", "_dec_kernel")
 
     def __init__(self, key: bytes):
         self._round_keys = expand_key(key)
         self.key = bytes(key)
+        self._enc_kernel = None
+        self._dec_kernel = None
+        self._rk_enc = tuple(
+            int.from_bytes(bytes(rk), "big") for rk in self._round_keys
+        )
+        # Equivalent-inverse-cipher key schedule: reversed order, with
+        # InvMixColumns applied to the nine middle round keys.
+        dec_keys = [self._round_keys[NUM_ROUNDS]]
+        for rnd in range(NUM_ROUNDS - 1, 0, -1):
+            mixed = list(self._round_keys[rnd])
+            _inv_mix_columns(mixed)
+            dec_keys.append(mixed)
+        dec_keys.append(self._round_keys[0])
+        self._rk_dec = tuple(
+            int.from_bytes(bytes(rk), "big") for rk in dec_keys
+        )
+
+    # -- table-driven hot path ------------------------------------------------
 
     def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        kernel = self._enc_kernel
+        if kernel is None:
+            kernel = self._enc_kernel = _bind_kernel(self._rk_enc, True)
+        return kernel(plaintext)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        kernel = self._dec_kernel
+        if kernel is None:
+            kernel = self._dec_kernel = _bind_kernel(self._rk_dec, False)
+        return kernel(ciphertext)
+
+    def encrypt_blocks(self, blocks: Iterable[bytes]) -> list[bytes]:
+        """Encrypt many 16-byte blocks, amortizing dispatch and key setup."""
+        kernel = self._enc_kernel
+        if kernel is None:
+            kernel = self._enc_kernel = _bind_kernel(self._rk_enc, True)
+        out = []
+        for block in blocks:
+            if len(block) != BLOCK_SIZE:
+                raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+            out.append(kernel(block))
+        return out
+
+    def decrypt_blocks(self, blocks: Iterable[bytes]) -> list[bytes]:
+        """Decrypt many 16-byte blocks, amortizing dispatch and key setup."""
+        kernel = self._dec_kernel
+        if kernel is None:
+            kernel = self._dec_kernel = _bind_kernel(self._rk_dec, False)
+        out = []
+        for block in blocks:
+            if len(block) != BLOCK_SIZE:
+                raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+            out.append(kernel(block))
+        return out
+
+    # -- scalar reference (the seed implementation) ---------------------------
+
+    def encrypt_block_scalar(self, plaintext: bytes) -> bytes:
+        """Per-byte round-loop reference used for cross-checks and benches."""
         if len(plaintext) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes")
         state = list(plaintext)
@@ -189,7 +400,8 @@ class AES128:
         _add_round_key(state, self._round_keys[NUM_ROUNDS])
         return bytes(state)
 
-    def decrypt_block(self, ciphertext: bytes) -> bytes:
+    def decrypt_block_scalar(self, ciphertext: bytes) -> bytes:
+        """Per-byte round-loop reference for the inverse cipher."""
         if len(ciphertext) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes")
         state = list(ciphertext)
@@ -203,3 +415,18 @@ class AES128:
         _inv_sub_bytes(state)
         _add_round_key(state, self._round_keys[0])
         return bytes(state)
+
+
+def encrypt_blocks(key: bytes, blocks: Sequence[bytes]) -> list[bytes]:
+    """Encrypt many blocks under one key — the module-level bulk entry.
+
+    Equivalent to ``[AES128(key).encrypt_block(b) for b in blocks]`` but
+    performs the key schedule once and dispatches through the unrolled
+    table kernel.
+    """
+    return AES128(key).encrypt_blocks(blocks)
+
+
+def decrypt_blocks(key: bytes, blocks: Sequence[bytes]) -> list[bytes]:
+    """Decrypt many blocks under one key (see :func:`encrypt_blocks`)."""
+    return AES128(key).decrypt_blocks(blocks)

@@ -48,22 +48,30 @@ def make_seed(chunk_address: int, counter: int, iv_tag: int) -> bytes:
     )
 
 
+def make_seeds(block_address: int, counter: int, num_chunks: int,
+               iv_tag: int = ENCRYPTION_IV) -> list[bytes]:
+    """Build the AES inputs for every chunk pad of one cache block."""
+    return [
+        make_seed(block_address + i * CHUNK_SIZE, counter, iv_tag)
+        for i in range(num_chunks)
+    ]
+
+
 def generate_pads(aes: AES128, block_address: int, counter: int,
                   num_chunks: int, iv_tag: int = ENCRYPTION_IV) -> list[bytes]:
     """Generate the keystream pads for every chunk of a cache block."""
-    return [
-        aes.encrypt_block(
-            make_seed(block_address + i * CHUNK_SIZE, counter, iv_tag)
-        )
-        for i in range(num_chunks)
-    ]
+    return aes.encrypt_blocks(
+        make_seeds(block_address, counter, num_chunks, iv_tag)
+    )
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
     """XOR two equal-length byte strings."""
     if len(a) != len(b):
         raise ValueError("xor_bytes requires equal lengths")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(len(a), "big")
 
 
 def ctr_transform(aes: AES128, block_address: int, counter: int,
@@ -73,7 +81,28 @@ def ctr_transform(aes: AES128, block_address: int, counter: int,
         raise ValueError("data must be a whole number of 16-byte chunks")
     num_chunks = len(data) // CHUNK_SIZE
     pads = generate_pads(aes, block_address, counter, num_chunks, iv_tag)
-    out = bytearray()
-    for i, pad in enumerate(pads):
-        out.extend(xor_bytes(data[i * CHUNK_SIZE:(i + 1) * CHUNK_SIZE], pad))
-    return bytes(out)
+    return xor_bytes(data, b"".join(pads))
+
+
+def bulk_ctr_transform(aes: AES128, items: list[tuple[int, int, bytes]],
+                       iv_tag: int = ENCRYPTION_IV) -> list[bytes]:
+    """Counter-mode transform many cache blocks with one AES dispatch.
+
+    ``items`` is a list of ``(block_address, counter, data)``; the result
+    preserves order.  All chunk seeds across the whole batch are generated
+    first and encrypted in a single :meth:`AES128.encrypt_blocks` call —
+    the software analogue of the paper's multi-engine pad pipeline.
+    """
+    seeds: list[bytes] = []
+    spans: list[tuple[int, int]] = []
+    for block_address, counter, data in items:
+        if len(data) % CHUNK_SIZE:
+            raise ValueError("data must be a whole number of 16-byte chunks")
+        num_chunks = len(data) // CHUNK_SIZE
+        spans.append((len(seeds), num_chunks))
+        seeds.extend(make_seeds(block_address, counter, num_chunks, iv_tag))
+    pads = aes.encrypt_blocks(seeds)
+    out = []
+    for (start, count), (_, _, data) in zip(spans, items):
+        out.append(xor_bytes(data, b"".join(pads[start:start + count])))
+    return out

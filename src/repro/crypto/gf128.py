@@ -13,6 +13,8 @@ the functional simulation layer and the attack experiments.
 
 from __future__ import annotations
 
+import types
+
 # x^128 + x^7 + x^2 + x + 1, expressed in the reflected bit order used by
 # GCM: reducing by this constant corresponds to the standard polynomial.
 _R = 0xE1000000000000000000000000000000
@@ -48,6 +50,93 @@ def gf128_mul(x: int, y: int) -> int:
         else:
             v >>= 1
     return z
+
+
+# -- table-driven multiplication by a fixed element ---------------------------
+#
+# GHASH multiplies every chunk by the same hash subkey H, so the classic
+# Shoup trick applies: precompute, for each of the 16 byte positions i and
+# each byte value b, the product (b << 8*(15-i)) * H.  A full multiply is
+# then 16 table lookups and 15 XORs instead of 128 shift-and-add steps.
+# The per-key table costs 16*256 entries (~1 ms to build) and is cached by
+# the GHASH layer, so it is paid once per hash subkey per process.
+
+
+def _mulx(v: int) -> int:
+    """Multiply a field element by x (one right shift in GCM bit order)."""
+    return (v >> 1) ^ _R if v & 1 else v >> 1
+
+
+def _build_red8() -> list[int]:
+    """Reduction residues of the 8 bits dropped by a one-byte right shift.
+
+    For any element ``v``: ``v * x^8 == (v >> 8) ^ _RED8[v & 0xFF]`` — the
+    high 120 bits shift through unreduced while the dropped low byte folds
+    back in via the field polynomial.
+    """
+    table = [0] * 256
+    for b in range(256):
+        v = b
+        for _ in range(8):
+            v = _mulx(v)
+        table[b] = v
+    return table
+
+
+_RED8 = _build_red8()
+
+
+def _compile_table_mul():
+    """Compile the unrolled 16-lookup multiply once; bind rows per key."""
+    params = ["x"] + [f"T{i}=None" for i in range(16)]
+    terms = " ^ ".join(f"T{i}[b[{i}]]" for i in range(16))
+    src = (f"def _table_mul({', '.join(params)}):\n"
+           f"    b = x.to_bytes(16, 'big')\n"
+           f"    return {terms}\n")
+    namespace: dict = {}
+    exec(src, namespace)  # noqa: S102 - static generated source
+    fn = namespace["_table_mul"]
+    return fn.__code__, fn.__globals__
+
+
+_TABLE_MUL_CODE, _TABLE_MUL_GLOBALS = _compile_table_mul()
+
+
+class GF128Table:
+    """Precomputed multiply-by-H tables (Shoup's method, 8-bit windows).
+
+    ``multiply`` is a plain function attribute taking one field element and
+    returning ``element * H``; it is stamped from a shared code object with
+    the sixteen per-byte-position rows bound as argument defaults.
+    """
+
+    __slots__ = ("value", "multiply")
+
+    def __init__(self, h: int | bytes):
+        if isinstance(h, bytes):
+            h = block_to_int(h)
+        if not 0 <= h < (1 << 128):
+            raise ValueError("value out of range for GF(2^128)")
+        self.value = h
+        # Products of H with each single-bit byte placed in the most
+        # significant byte position: byte bit 7 is the coefficient of x^0,
+        # bit k the coefficient of x^(7-k).
+        powers = [h]
+        for _ in range(7):
+            powers.append(_mulx(powers[-1]))
+        single = {1 << k: powers[7 - k] for k in range(8)}
+        row = [0] * 256
+        for b in range(1, 256):
+            low = b & -b
+            row[b] = row[b ^ low] ^ single[low]
+        rows = [row]
+        red8 = _RED8
+        for _ in range(15):
+            prev = rows[-1]
+            rows.append([(v >> 8) ^ red8[v & 0xFF] for v in prev])
+        self.multiply = types.FunctionType(
+            _TABLE_MUL_CODE, _TABLE_MUL_GLOBALS, "_table_mul", tuple(rows)
+        )
 
 
 class GF128Element:

@@ -345,6 +345,54 @@ class TimingSecureMemory:
             auth_done = max(data_ready, chain_done)
         return MissTiming(data_ready=data_ready, auth_done=auth_done)
 
+    def read_misses(self, now: float, addresses: list[int]) -> list[MissTiming]:
+        """Service several L2 misses issued in the same cycle.
+
+        Models the section-3.2 overlap: all misses contend for the bus and
+        AES/SHA engines from ``now`` (the engines' slot schedules serialize
+        them), and misses touching the same counter block are serviced back
+        to back so the shared counter fetch is charged once — the later
+        siblings see a counter-cache hit or half-miss instead of a second
+        full fetch.  Results are returned in input order.
+        """
+        if self.counter_cache is not None:
+            order = sorted(
+                range(len(addresses)),
+                key=lambda i: (
+                    self.scheme.counter_block_address(addresses[i]),
+                    addresses[i],
+                ),
+            )
+        else:
+            order = sorted(range(len(addresses)),
+                           key=lambda i: addresses[i])
+        timings: list[MissTiming | None] = [None] * len(addresses)
+        for i in order:
+            timings[i] = self.read_miss(now, addresses[i])
+        return timings  # type: ignore[return-value]
+
+    def write_backs(self, now: float, addresses: list[int]) -> float:
+        """Service several dirty evictions posted in the same cycle.
+
+        Counter-block grouping as in :meth:`read_misses`.  Returns the
+        latest stall-until cycle across the batch (write-backs are posted;
+        only RSR conditions stall the core).
+        """
+        if self.counter_cache is not None:
+            ordered = sorted(
+                addresses,
+                key=lambda a: (
+                    (self.scheme.counter_block_address(a), a)
+                    if a < self._node_region_base else (-1, a)
+                ),
+            )
+        else:
+            ordered = sorted(addresses)
+        stall_until = now
+        for address in ordered:
+            stall_until = max(stall_until, self.write_back(now, address))
+        return stall_until
+
     def _read_miss_prediction(self, now: float, address: int) -> MissTiming:
         """Counter-prediction read path (Figure 6).
 

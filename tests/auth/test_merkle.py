@@ -165,3 +165,50 @@ class TestRootRegister:
         tree.update_leaf(5, leaf_addr(5), 3, b"\x07" * 64)
         tree.flush()
         assert not any(True for _ in tree.node_cache.dirty_blocks())
+
+
+class TestBatchedLeaves:
+    def test_update_leaves_then_verify_leaves(self):
+        tree, _ = make_tree()
+        items = [(i, leaf_addr(i), i + 1, bytes([i]) * 64) for i in range(8)]
+        tree.update_leaves(items)
+        tree.verify_leaves(items)  # must not raise
+
+    def test_batched_matches_scalar(self):
+        batched, _ = make_tree()
+        scalar, _ = make_tree()
+        items = [(i, leaf_addr(i), 1, bytes([i ^ 0x5A]) * 64)
+                 for i in (9, 2, 14, 3, 8)]
+        batched.update_leaves(items)
+        for item in items:
+            scalar.update_leaf(*item)
+        for item in items:
+            batched.verify_leaf(*item)
+            scalar.verify_leaf(*item)
+
+    def test_verify_leaves_detects_tampering(self):
+        tree, _ = make_tree()
+        items = [(i, leaf_addr(i), 1, bytes(64)) for i in range(4)]
+        tree.update_leaves(items)
+        bad = list(items)
+        bad[2] = (2, leaf_addr(2), 1, b"\xff" + bytes(63))
+        with pytest.raises(IntegrityViolation):
+            tree.verify_leaves(bad)
+
+    def test_sibling_leaves_share_ancestor_walk(self):
+        """Grouping by parent: verifying siblings as one batch must fetch
+        no more tree levels than the scalar verify-each loop."""
+        scalar, _ = make_tree()
+        batched, _ = make_tree()
+        items = [(i, leaf_addr(i), 1, bytes(64)) for i in range(4)]
+        for tree in (scalar, batched):
+            for item in items:
+                tree.update_leaf(*item)
+        separate = sum(scalar.verify_leaf(*item) for item in items)
+        together = batched.verify_leaves(items)
+        assert together <= separate
+
+    def test_empty_batch(self):
+        tree, _ = make_tree()
+        assert tree.verify_leaves([]) == 0
+        tree.update_leaves([])  # must not raise

@@ -93,3 +93,50 @@ class TestUpdates:
     def test_configs_hashable(self):
         assert hash(split_config()) == hash(split_config())
         assert {split_config(), split_config()} == {split_config()}
+
+
+class TestValidation:
+    """__post_init__ rejects configurations the hardware could not build."""
+
+    @pytest.mark.parametrize("mac_bits", [0, 16, 48, 96, 256])
+    def test_rejects_bad_mac_bits(self, mac_bits):
+        with pytest.raises(ValueError, match="mac_bits"):
+            split_gcm_config(mac_bits=mac_bits)
+
+    @pytest.mark.parametrize("minor_bits", [0, -1, 17, 64])
+    def test_rejects_bad_minor_bits(self, minor_bits):
+        with pytest.raises(ValueError, match="minor_bits"):
+            split_config(minor_bits=minor_bits)
+
+    @pytest.mark.parametrize("size", [0, -64, 100, 3000])
+    def test_rejects_non_power_of_two_counter_cache(self, size):
+        with pytest.raises(ValueError, match="counter_cache_size"):
+            split_config(counter_cache_size=size)
+
+    @pytest.mark.parametrize("size", [0, 1000])
+    def test_rejects_non_power_of_two_node_cache(self, size):
+        with pytest.raises(ValueError, match="node_cache_size"):
+            split_gcm_config(node_cache_size=size)
+
+    def test_rejects_zero_aes_engines(self):
+        with pytest.raises(ValueError, match="aes_engines"):
+            prediction_config(aes_engines=0)
+
+    def test_with_updates_validates_too(self):
+        with pytest.raises(ValueError, match="mac_bits"):
+            split_gcm_config().with_updates(mac_bits=48)
+
+    def test_valid_edges_accepted(self):
+        assert split_gcm_config(mac_bits=32).mac_bits == 32
+        assert split_config(minor_bits=1).minor_bits == 1
+        assert split_config(minor_bits=16).minor_bits == 16
+
+
+class TestPresetsReadOnly:
+    def test_presets_mapping_is_immutable(self):
+        with pytest.raises(TypeError):
+            PRESETS["rogue"] = baseline_config()
+
+    def test_presets_cannot_be_deleted_from(self):
+        with pytest.raises(TypeError):
+            del PRESETS["baseline"]

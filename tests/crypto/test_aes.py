@@ -3,7 +3,15 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.crypto.aes import AES128, SBOX, INV_SBOX, expand_key, gf_mul
+from repro.crypto.aes import (
+    AES128,
+    SBOX,
+    INV_SBOX,
+    decrypt_blocks,
+    encrypt_blocks,
+    expand_key,
+    gf_mul,
+)
 
 
 class TestKnownVectors:
@@ -85,6 +93,52 @@ class TestErrors:
             cipher.encrypt_block(b"tiny")
         with pytest.raises(ValueError):
             cipher.decrypt_block(bytes(17))
+
+
+class TestTableKernelMatchesScalar:
+    """The table-driven fast path must agree with the reference rounds."""
+
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=16, max_size=16))
+    def test_encrypt_matches_scalar(self, key, block):
+        cipher = AES128(key)
+        assert cipher.encrypt_block(block) == cipher.encrypt_block_scalar(block)
+
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=16, max_size=16))
+    def test_decrypt_matches_scalar(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(block) == cipher.decrypt_block_scalar(block)
+
+
+class TestBulk:
+    def test_encrypt_blocks_matches_per_block(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        cipher = AES128(key)
+        blocks = [bytes([i]) * 16 for i in range(23)]
+        assert cipher.encrypt_blocks(blocks) == [
+            cipher.encrypt_block(b) for b in blocks
+        ]
+
+    def test_decrypt_blocks_inverts_encrypt_blocks(self):
+        cipher = AES128(bytes(range(16)))
+        blocks = [i.to_bytes(16, "big") for i in range(17)]
+        assert cipher.decrypt_blocks(cipher.encrypt_blocks(blocks)) == blocks
+
+    def test_module_level_helpers(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        blocks = [bytes.fromhex("00112233445566778899aabbccddeeff")]
+        out = encrypt_blocks(key, blocks)
+        assert out == [bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")]
+        assert decrypt_blocks(key, out) == blocks
+
+    def test_empty_batch(self):
+        assert encrypt_blocks(bytes(16), []) == []
+        assert decrypt_blocks(bytes(16), []) == []
+
+    def test_bulk_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_blocks([bytes(16), b"short"])
 
 
 class TestProperties:

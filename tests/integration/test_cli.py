@@ -46,3 +46,39 @@ class TestCLI:
         result = run_cli("apps")
         assert result.returncode == 0
         assert "swim" in result.stdout
+
+
+class TestJSONOutput:
+    def test_schemes_json(self, capsys):
+        import json
+        assert main(["schemes", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "split+gcm" in payload
+        assert payload["split+gcm"]["auth"] == "gcm"
+        assert payload["split+gcm"]["mac_bits"] == 64
+        assert payload["baseline"]["encryption"] == "none"
+
+    def test_simulate_json_is_one_object(self, capsys):
+        import json
+        assert main(["simulate", "--app", "gzip", "--scheme", "split",
+                     "--refs", "15000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheme"] == "split"
+        assert payload["app"] == "gzip"
+        assert 0.0 < payload["normalized_ipc"] <= 1.5
+        assert payload["counter_cache_hit_rate"] is not None
+        assert "page_reencryptions" in payload
+
+    def test_simulate_json_baseline_nulls(self, capsys):
+        import json
+        assert main(["simulate", "--app", "gzip", "--scheme", "baseline",
+                     "--refs", "10000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counter_cache_hit_rate"] is None
+        assert payload["timely_pad_rate"] is None
+
+    def test_unknown_scheme_suggestion_on_stderr(self, capsys):
+        assert main(["simulate", "--scheme", "spilt"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme" in err
+        assert "split" in err
