@@ -9,6 +9,10 @@ Commands:
 * ``apps`` — list the SPEC CPU 2000-like workloads.
 * ``attack [--no-counter-auth]`` — stage the section-4.3 counter-replay
   attack and report detection.
+* ``fuzz [--campaigns N] [--seed S] [--json]`` — run the adversarial-memory
+  fault-injection harness over the scheme presets; exits non-zero when any
+  fault was missed, any spurious violation appeared, or a differential
+  check diverged (see :mod:`repro.testing`).
 
 The CLI is a thin layer over :mod:`repro.api`; anything it prints is
 available programmatically from :class:`repro.api.ExperimentResult`.
@@ -95,6 +99,27 @@ def _cmd_attack(args) -> int:
     return 0 if report.defended else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.testing import format_report, run_fuzz
+
+    try:
+        report = run_fuzz(
+            campaigns=args.campaigns, seed=args.seed,
+            presets=args.preset or None, weaken=args.weaken,
+            num_ops=args.ops, shrink=not args.no_shrink,
+            mac_bits=args.mac_bits,
+        )
+    except KeyError as exc:
+        print(f"{exc.args[0]}; see `python -m repro schemes`",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_report(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -115,9 +140,30 @@ def main(argv: list[str] | None = None) -> int:
     atk = sub.add_parser("attack", help="stage the counter-replay attack")
     atk.add_argument("--no-counter-auth", action="store_true",
                      help="disable counter authentication (the 4.3 flaw)")
+    fuzz = sub.add_parser(
+        "fuzz", help="run the adversarial-memory fault-injection harness")
+    fuzz.add_argument("--campaigns", type=int, default=20,
+                      help="seeded fault campaigns per preset (default 20)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; a run replays bit-for-bit from it")
+    fuzz.add_argument("--preset", action="append", metavar="NAME",
+                      help="restrict to a preset (repeatable; default: all)")
+    fuzz.add_argument("--mac-bits", type=int, default=None,
+                      choices=(32, 64, 128),
+                      help="override the MAC truncation width")
+    fuzz.add_argument("--ops", type=int, default=28,
+                      help="operations per schedule (default 28)")
+    fuzz.add_argument("--weaken", choices=("no-tree",), default=None,
+                      help="deliberately sabotage every system under test "
+                           "(harness self-check: faults must be missed)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip minimizing failing schedules")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
     args = parser.parse_args(argv)
     return {"schemes": _cmd_schemes, "apps": _cmd_apps,
-            "simulate": _cmd_simulate, "attack": _cmd_attack}[args.command](args)
+            "simulate": _cmd_simulate, "attack": _cmd_attack,
+            "fuzz": _cmd_fuzz}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from repro.workloads import SPEC_APPS, spec_trace
 __all__ = [
     "Experiment",
     "ExperimentResult",
+    "fuzz",
     "get_config",
     "list_configs",
     "run",
@@ -184,3 +185,16 @@ def run(config: SecureMemoryConfig | str, workload: Any = "swim", *,
     """One-shot: build an :class:`Experiment` and run it."""
     return Experiment(config, workload, refs=refs,
                       warmup_refs=warmup_refs).run()
+
+
+def fuzz(campaigns: int = 20, seed: int = 0, **kwargs: Any):
+    """Run the adversarial-memory fault-injection harness.
+
+    A facade over :func:`repro.testing.run_fuzz` (imported lazily so plain
+    simulation work never pays for the harness).  Returns a
+    :class:`repro.testing.FuzzReport`; ``report.ok`` is the pass/fail
+    verdict and ``report.to_dict()`` the JSON the CLI emits.
+    """
+    from repro.testing import run_fuzz
+
+    return run_fuzz(campaigns, seed, **kwargs)

@@ -30,7 +30,15 @@ class AttackReport:
         return self.detected or not self.succeeded
 
     def __str__(self) -> str:
-        status = "DETECTED" if self.detected else (
-            "SUCCEEDED" if self.succeeded else "NEUTRALIZED"
-        )
+        if self.detected and self.succeeded:
+            # Late detection: the alarm went off but the damage (e.g. a
+            # leaked pad relationship) had already happened.  Showing only
+            # "DETECTED" here used to hide the success half.
+            status = "DETECTED-BUT-SUCCEEDED"
+        elif self.detected:
+            status = "DETECTED"
+        elif self.succeeded:
+            status = "SUCCEEDED"
+        else:
+            status = "NEUTRALIZED"
         return f"[{self.attack}] {status}: {self.details}"

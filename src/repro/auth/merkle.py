@@ -87,6 +87,11 @@ class MerkleTree:
         # trusted without a DRAM read (boot-time tree initialization
         # compressed to first touch — see the module docstring).
         self._node_written: set[tuple[int, int]] = set()
+        # Nodes currently mid write-back.  Re-entrant tree walks (the
+        # eviction cascade of a small node cache) must see such a node's
+        # live buffer, never its half-published DRAM/counter/parent-slot
+        # state — see :meth:`_write_back_node`.
+        self._in_flight: dict[tuple[int, int], bytearray] = {}
         self.stats = MerkleStats()
         # Root register: MAC of the top code block as last written to DRAM.
         self._root_register = self._node_mac(self.geometry.depth, 0,
@@ -142,6 +147,12 @@ class MerkleTree:
         raises :class:`IntegrityViolation`.  ``_fetched`` collects the
         levels fetched, for chain-length statistics.
         """
+        in_flight = self._in_flight.get((level, index))
+        if in_flight is not None:
+            # Mid write-back: the live buffer is the node's authoritative,
+            # trusted content (it was verified while resident).  Reading
+            # DRAM here would race the half-published write-back state.
+            return in_flight
         payload = self._cached_payload(level, index)
         if payload is not None:
             self.node_cache.access(self.node_address(level, index))
@@ -152,11 +163,22 @@ class MerkleTree:
             payload = bytearray(self.block_size)
             self._install(level, index, payload, dirty=False)
             return payload
+        # Resolve the parent chain BEFORE reading this node's image: the
+        # walk can cascade into write-backs that touch this very node (it
+        # may be an ancestor of an evicted dirty node), re-writing its
+        # DRAM image and bumping its derivative counter — a pre-walk read
+        # would then verify stale bytes against the fresh parent slot.
+        expected = self._expected_mac_from_parent(level, index)
+        resident = self._cached_payload(level, index)
+        if resident is not None:
+            # The walk installed this node; the resident copy (possibly
+            # already carrying re-posted child MACs) is authoritative.
+            self.node_cache.access(address)
+            return resident
         content = self.dram.read_block(address)
         self.stats.node_fetches += 1
         if _fetched is not None:
             _fetched.append(level)
-        expected = self._expected_mac_from_parent(level, index)
         actual = self._node_mac(level, index, content)
         if not constant_time_equal(actual, expected):
             self.stats.violations_detected += 1
@@ -175,6 +197,40 @@ class MerkleTree:
         if eviction is not None and eviction.dirty:
             self._write_back_node(eviction.address, eviction.payload)
 
+    def _acquire_for_update(self, level: int, index: int) -> bytearray:
+        """Trusted payload of a node, guaranteed still resident.
+
+        :meth:`ensure_node_trusted` can — on a small node cache — trigger
+        an eviction cascade that displaces the very node it just installed.
+        Mutating the returned buffer would then edit a detached copy and
+        the subsequent ``mark_dirty`` would silently miss, losing a MAC
+        installation (the child later fails verification with no tampering
+        anywhere).  Updates therefore re-check residency and retry; each
+        retry re-fetches a clean or properly written-back image, so the
+        loop converges unless the cache cannot hold even one update chain.
+        """
+        assert (level, index) not in self._in_flight
+        for _ in range(8):
+            payload = self.ensure_node_trusted(level, index)
+            if self._cached_payload(level, index) is payload:
+                return payload
+        raise RuntimeError(
+            "node cache too small to pin a Merkle update chain"
+        )
+
+    def _post_target(self, level: int, index: int) -> tuple[bytearray, bool]:
+        """Where to install a child MAC: ``(payload, needs_mark_dirty)``.
+
+        A node that is itself mid write-back is mutated in place — the
+        in-flight frame serializes its content *after* its parent
+        acquisition cascade completes, so the posted MAC reaches DRAM and
+        the grandparent without a separate dirty marking.
+        """
+        in_flight = self._in_flight.get((level, index))
+        if in_flight is not None:
+            return in_flight, False
+        return self._acquire_for_update(level, index), True
+
     def _node_for_address(self, address: int) -> tuple[int, int]:
         """Inverse of :meth:`node_address`."""
         block = (address - self.code_region_base) // self.block_size
@@ -185,24 +241,45 @@ class MerkleTree:
         raise ValueError(f"address {address:#x} is not a tree node")
 
     def _write_back_node(self, address: int, payload: bytearray) -> None:
-        """Evicted-dirty-node protocol: bump counter, re-MAC, tell parent."""
+        """Evicted-dirty-node protocol: bump counter, re-MAC, tell parent.
+
+        The publish must look atomic to re-entrant tree walks: acquiring
+        the parent can cascade into write-backs of *other* dirty nodes
+        whose verification chains re-fetch this very node, so the parent
+        is pinned **first** (while this node is registered in flight and
+        served from its live buffer), and only then are the DRAM image,
+        derivative counter, and parent slot updated — with no cache
+        activity in between.  The cascade may legitimately mutate this
+        node's buffer (a child posting its MAC), which is why the content
+        is serialized after the acquisition, not before.
+        """
         level, index = self._node_for_address(address)
         key = (level, index)
-        self._derivative[key] = self._derivative.get(key, 0) + 1
-        self._node_written.add(key)
-        content = bytes(payload)
-        self.dram.write_block(address, content)
-        self.stats.node_writebacks += 1
-        new_mac = self._node_mac(level, index, content)
-        if level == self.geometry.depth:
-            self._root_register = new_mac
-            return
-        parent = self.geometry.parent_index(index)
-        parent_payload = self.ensure_node_trusted(level + 1, parent)
-        slot = self.geometry.slot_in_parent(index)
-        mb = self.geometry.mac_bytes
-        parent_payload[slot * mb:(slot + 1) * mb] = new_mac
-        self.node_cache.mark_dirty(self.node_address(level + 1, parent))
+        self._in_flight[key] = payload
+        try:
+            parent_payload = needs_dirty = None
+            if level < self.geometry.depth:
+                parent = self.geometry.parent_index(index)
+                parent_payload, needs_dirty = self._post_target(
+                    level + 1, parent)
+            self._derivative[key] = self._derivative.get(key, 0) + 1
+            self._node_written.add(key)
+            content = bytes(payload)
+            self.dram.write_block(address, content)
+            self.stats.node_writebacks += 1
+            new_mac = self._node_mac(level, index, content)
+            if level == self.geometry.depth:
+                self._root_register = new_mac
+                return
+            slot = self.geometry.slot_in_parent(index)
+            mb = self.geometry.mac_bytes
+            parent_payload[slot * mb:(slot + 1) * mb] = new_mac
+            if needs_dirty:
+                assert self.node_cache.mark_dirty(
+                    self.node_address(level + 1, parent)
+                )
+        finally:
+            del self._in_flight[key]
 
     # -- public leaf protocol ---------------------------------------------------
 
@@ -237,13 +314,14 @@ class MerkleTree:
         """Install a written-back leaf's MAC; propagates to first cached node."""
         self.stats.leaf_updates += 1
         parent = self.geometry.parent_index(leaf_index)
-        payload = self.ensure_node_trusted(1, parent)
+        payload, needs_dirty = self._post_target(1, parent)
         slot = self.geometry.slot_in_parent(leaf_index)
         mb = self.geometry.mac_bytes
         payload[slot * mb:(slot + 1) * mb] = self.leaf_mac(
             leaf_address, counter, content
         )
-        self.node_cache.mark_dirty(self.node_address(1, parent))
+        if needs_dirty:
+            assert self.node_cache.mark_dirty(self.node_address(1, parent))
 
     # -- batched leaf protocol --------------------------------------------------
     #

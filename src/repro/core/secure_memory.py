@@ -87,7 +87,8 @@ class SecureMemorySystem:
     def __init__(self, config: SecureMemoryConfig,
                  protected_bytes: int = 1024 * 1024,
                  base_key: bytes = b"platform-master-key!",
-                 l2_size: int | None = None, l2_assoc: int = 8):
+                 l2_size: int | None = None, l2_assoc: int = 8,
+                 dram_factory=None):
         self.config = config
         self.block_size = config.block_size
         if protected_bytes % self.block_size:
@@ -133,9 +134,13 @@ class SecureMemorySystem:
                                       config.mac_bits)
             code_region_bytes = geometry.total_code_blocks * self.block_size
 
+        # ``dram_factory`` lets a harness substitute an instrumented device
+        # (e.g. repro.testing's AdversarialDRAM) without post-construction
+        # surgery; it receives the same keyword arguments MainMemory takes.
         total = self._code_region_base + code_region_bytes
-        self.dram = MainMemory(size_bytes=total, block_size=self.block_size,
-                               latency_cycles=config.memory_latency)
+        make_dram = dram_factory if dram_factory is not None else MainMemory
+        self.dram = make_dram(size_bytes=total, block_size=self.block_size,
+                              latency_cycles=config.memory_latency)
 
         if self.mac_scheme is not None:
             self.merkle = MerkleTree(

@@ -92,3 +92,17 @@ class MainMemory:
     def stored_blocks(self) -> dict[int, bytes]:
         """Snapshot of every block ever written — the attacker's recording."""
         return dict(self._blocks)
+
+    def transplant_from(self, other: "MainMemory") -> None:
+        """Adopt another device's backing store and statistics in place.
+
+        The block dictionary and stats objects are *shared*, not copied, so
+        a wrapper (e.g. :class:`repro.testing.AdversarialDRAM`) can be
+        swapped under a live system without losing state, and anything still
+        holding the old device observes the same memory image.
+        """
+        if other.block_size != self.block_size:
+            raise ValueError("block sizes differ")
+        self.size_bytes = other.size_bytes
+        self._blocks = other._blocks
+        self.stats = other.stats

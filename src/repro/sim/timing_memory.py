@@ -62,11 +62,14 @@ class MissTiming:
 class TimingSecureMemory:
     """Latency/occupancy model of the secure memory path below the L2."""
 
-    def __init__(self, config: SecureMemoryConfig, l2: Cache | None = None):
+    def __init__(self, config: SecureMemoryConfig, l2: Cache | None = None,
+                 bus: MemoryBus | None = None):
         self.config = config
         self.block_size = config.block_size
         self._chunks = self.block_size // 16
-        self.bus = MemoryBus()
+        # An injected bus (e.g. repro.testing's AdversarialBus) lets a
+        # harness observe or perturb the transaction stream deterministically.
+        self.bus = bus if bus is not None else MemoryBus()
         self.mem_latency = config.memory_latency
         self.l2 = l2  # used by the RSR to find page blocks already on-chip
 

@@ -1,0 +1,56 @@
+"""Adversarial-memory fault-injection harness and differential oracle.
+
+The correctness backstop of the reproduction: seeded, schedulable bus-level
+faults (:mod:`repro.testing.faults`), deterministic operation schedules
+(:mod:`repro.testing.schedule`), a differential oracle that classifies
+every injected fault as detected / neutralized / missed
+(:mod:`repro.testing.oracle`), ddmin-style schedule shrinking
+(:mod:`repro.testing.shrink`), and the campaign runner behind
+``python -m repro fuzz`` (:mod:`repro.testing.fuzz`).
+"""
+
+from repro.testing.faults import (
+    AdversarialBus,
+    AdversarialDRAM,
+    FaultEvent,
+    FaultKind,
+    FaultSpec,
+    Trigger,
+)
+from repro.testing.fuzz import (
+    FuzzReport,
+    format_report,
+    replay_reproducer,
+    run_fuzz,
+)
+from repro.testing.oracle import (
+    DifferentialResult,
+    FaultOutcome,
+    ScenarioResult,
+    run_differential_checks,
+    run_scenario,
+)
+from repro.testing.schedule import Op, Scenario, generate_scenario
+from repro.testing.shrink import shrink_scenario
+
+__all__ = [
+    "AdversarialBus",
+    "AdversarialDRAM",
+    "DifferentialResult",
+    "FaultEvent",
+    "FaultKind",
+    "FaultOutcome",
+    "FaultSpec",
+    "FuzzReport",
+    "Op",
+    "Scenario",
+    "ScenarioResult",
+    "Trigger",
+    "format_report",
+    "generate_scenario",
+    "replay_reproducer",
+    "run_differential_checks",
+    "run_fuzz",
+    "run_scenario",
+    "shrink_scenario",
+]

@@ -1,0 +1,426 @@
+"""Adversarial memory devices: seeded, schedulable bus-level fault injection.
+
+The paper's threat model gives the adversary the memory bus and the DRAM —
+everything below the processor chip.  :class:`AdversarialDRAM` is a
+:class:`~repro.memory.dram.MainMemory` that plays that adversary
+*deterministically*: armed :class:`FaultSpec`\\ s fire at programmable
+points (the nth DRAM access, the nth access matching an address predicate
+or region, or immediately when the harness reaches an operation boundary)
+and mutate the stored image the way a bus attacker would:
+
+* ``bit-flip``       — flip 1..k bits of a stored block (transmission or
+  row-hammer-style corruption);
+* ``splice``         — swap the ciphertext images of two addresses
+  (relocation attack);
+* ``replay``         — roll one block back to a previously recorded image
+  (stale-data replay; the device records every version ever written);
+* ``counter-rollback`` — the same rollback aimed at the counter region,
+  the section-4.3 pitfall;
+* ``node-corrupt``   — corrupt a Merkle code block (MAC/tree tampering).
+
+Faults never consult wall-clock or global randomness: every choice (target
+address, bit positions, replayed version) comes from the
+:class:`random.Random` instance the harness seeded, so a campaign replays
+bit-for-bit from its seed.
+
+:class:`AdversarialBus` is the timing twin: a
+:class:`~repro.memory.bus.MemoryBus` that records the full transaction
+trace and can deterministically jam the bus with attacker transfers —
+useful for reasoning about contention-based interference, and for asserting
+that two runs of one seed produce identical traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.memory.bus import MemoryBus
+from repro.memory.dram import MainMemory
+
+
+class FaultKind(enum.Enum):
+    """The adversarial-memory fault taxonomy."""
+
+    BIT_FLIP = "bit-flip"
+    SPLICE = "splice"
+    REPLAY = "replay"
+    COUNTER_ROLLBACK = "counter-rollback"
+    NODE_CORRUPT = "node-corrupt"
+
+
+#: Region names understood by triggers and target selection.  ``data`` is
+#: the protected plaintext-owner region, ``counter`` the counter blocks,
+#: ``code`` the Merkle code blocks, ``any`` the whole device.
+REGIONS = ("data", "counter", "code", "any")
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """When a fault fires.
+
+    ``count`` is 1-based: the fault fires on the ``count``-th DRAM access
+    that matches ``kind`` (``access`` / ``read`` / ``write``) *and* the
+    region / address / predicate filters.  A DRAM write is exactly a
+    post-eviction write-back in this system, so ``kind="write"`` is the
+    "after the victim's dirty line leaves the chip" hook.  ``predicate``
+    (address -> bool) supports arbitrary address conditions but is not
+    serializable; generated campaigns stick to the declarative fields.
+    """
+
+    count: int = 1
+    kind: str = "access"            # "access" | "read" | "write"
+    region: str = "any"
+    address: int | None = None
+    predicate: Callable[[int], bool] | None = None
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "kind": self.kind,
+                "region": self.region, "address": self.address}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trigger":
+        return cls(count=data.get("count", 1),
+                   kind=data.get("kind", "access"),
+                   region=data.get("region", "any"),
+                   address=data.get("address"))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One schedulable fault.
+
+    ``trigger`` arms the fault inside :class:`AdversarialDRAM`;
+    alternatively a harness can fire the spec directly at an operation
+    boundary with :meth:`AdversarialDRAM.fire_now` (shrink-stable
+    injection).  ``address`` / ``partner`` pin targets; left ``None``,
+    targets are drawn from the seeded RNG among eligible blocks at fire
+    time.  ``bits`` is the number of bit flips for the corruption kinds.
+    """
+
+    kind: FaultKind
+    trigger: Trigger | None = None
+    address: int | None = None
+    partner: int | None = None      # second address for SPLICE
+    bits: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "trigger": self.trigger.to_dict() if self.trigger else None,
+            "address": self.address,
+            "partner": self.partner,
+            "bits": self.bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        trigger = data.get("trigger")
+        return cls(
+            kind=FaultKind(data["kind"]),
+            trigger=Trigger.from_dict(trigger) if trigger else None,
+            address=data.get("address"),
+            partner=data.get("partner"),
+            bits=data.get("bits", 1),
+        )
+
+
+@dataclass
+class FaultEvent:
+    """A fault that actually fired, with everything needed to replay it."""
+
+    spec: FaultSpec
+    address: int
+    access_index: int               # device access count at fire time
+    detail: str = ""
+    partner: int | None = None
+    flipped_bits: tuple[int, ...] = ()
+    replayed_version: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.spec.kind.value,
+            "address": self.address,
+            "partner": self.partner,
+            "access_index": self.access_index,
+            "detail": self.detail,
+        }
+
+
+class FaultSkipped(Exception):
+    """Raised internally when a fired fault has no eligible target."""
+
+
+class AdversarialDRAM(MainMemory):
+    """Main memory that doubles as a deterministic bus-level adversary.
+
+    Construct it directly (same signature as :class:`MainMemory`, plus
+    ``rng``) and pass it via ``SecureMemorySystem(dram_factory=...)``, or
+    wrap an already-built system with :meth:`wrap`.  Call
+    :meth:`set_layout` so region-scoped faults know where the data /
+    counter / Merkle-code regions live; :meth:`wrap` does this
+    automatically.
+    """
+
+    def __init__(self, size_bytes: int = 512 * 1024 * 1024,
+                 block_size: int = 64, latency_cycles: int = 200,
+                 rng: random.Random | None = None):
+        super().__init__(size_bytes=size_bytes, block_size=block_size,
+                         latency_cycles=latency_cycles)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.accesses = 0
+        self._armed: list[dict] = []    # {"spec": FaultSpec, "seen": int}
+        self.events: list[FaultEvent] = []
+        self.skipped: list[FaultSpec] = []
+        self._history: dict[int, list[bytes]] = {}
+        self._regions: dict[str, tuple[int, int]] = {
+            "any": (0, self.size_bytes)
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def wrap(cls, system, rng: random.Random | None = None
+             ) -> "AdversarialDRAM":
+        """Swap an adversarial device under a live SecureMemorySystem.
+
+        The existing backing store and stats are adopted (shared, not
+        copied), the region layout is read off the system, and every
+        internal reference — the system's and the Merkle tree's — is
+        repointed at the wrapper.
+        """
+        old = system.dram
+        device = cls(size_bytes=old.size_bytes, block_size=old.block_size,
+                     latency_cycles=old.latency_cycles, rng=rng)
+        device.transplant_from(old)
+        for address, image in device._blocks.items():
+            device._history[address] = [image]
+        device.set_layout(system.protected_bytes,
+                          system._code_region_base, old.size_bytes)
+        system.dram = device
+        if system.merkle is not None:
+            system.merkle.dram = device
+        return device
+
+    def set_layout(self, data_end: int, code_base: int, total: int) -> None:
+        """Declare the region map used by region-scoped faults."""
+        self._regions = {
+            "data": (0, data_end),
+            "counter": (data_end, code_base),
+            "code": (code_base, total),
+            "any": (0, total),
+        }
+
+    # -- scheduling --------------------------------------------------------
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Arm a one-shot fault; it fires when its trigger matches."""
+        if spec.trigger is None:
+            raise ValueError("arm() needs a spec with a trigger; use "
+                             "fire_now() for operation-boundary injection")
+        self._armed.append({"spec": spec, "seen": 0})
+
+    def fire_now(self, spec: FaultSpec) -> FaultEvent | None:
+        """Apply a fault immediately (operation-boundary injection).
+
+        Returns the :class:`FaultEvent`, or ``None`` when no eligible
+        target exists yet (the spec is recorded in :attr:`skipped`).
+        """
+        try:
+            event = self._apply(spec)
+        except FaultSkipped:
+            self.skipped.append(spec)
+            return None
+        self.events.append(event)
+        return event
+
+    # -- device interface ---------------------------------------------------
+
+    def read_block(self, address: int) -> bytes:
+        self.accesses += 1
+        self._fire_matching("read", address)
+        return super().read_block(address)
+
+    def write_block(self, address: int, data: bytes) -> None:
+        self.accesses += 1
+        super().write_block(address, data)
+        self._history.setdefault(address, []).append(bytes(data))
+        # Post-eviction semantics: the adversary reacts after the
+        # write-back has landed in DRAM.
+        self._fire_matching("write", address)
+
+    # -- trigger evaluation --------------------------------------------------
+
+    def _in_region(self, address: int, region: str) -> bool:
+        lo, hi = self._regions.get(region, (0, self.size_bytes))
+        return lo <= address < hi
+
+    def _matches(self, trigger: Trigger, kind: str, address: int) -> bool:
+        if trigger.kind != "access" and trigger.kind != kind:
+            return False
+        if trigger.address is not None and trigger.address != address:
+            return False
+        if not self._in_region(address, trigger.region):
+            return False
+        if trigger.predicate is not None and not trigger.predicate(address):
+            return False
+        return True
+
+    def _fire_matching(self, kind: str, address: int) -> None:
+        still_armed = []
+        for entry in self._armed:
+            spec: FaultSpec = entry["spec"]
+            if self._matches(spec.trigger, kind, address):
+                entry["seen"] += 1
+                if entry["seen"] >= spec.trigger.count:
+                    self.fire_now(spec)
+                    continue    # one-shot: drop from the armed list
+            still_armed.append(entry)
+        self._armed = still_armed
+
+    # -- fault application ----------------------------------------------------
+
+    def _eligible(self, region: str, exclude: int | None = None) -> list[int]:
+        lo, hi = self._regions.get(region, (0, self.size_bytes))
+        return sorted(a for a in self._blocks
+                      if lo <= a < hi and a != exclude)
+
+    def _pick_target(self, spec: FaultSpec, region: str,
+                     exclude: int | None = None) -> int:
+        if spec.address is not None:
+            return spec.address
+        candidates = self._eligible(region, exclude)
+        if not candidates:
+            raise FaultSkipped(region)
+        return self.rng.choice(candidates)
+
+    def _apply(self, spec: FaultSpec) -> FaultEvent:
+        kind = spec.kind
+        if kind is FaultKind.BIT_FLIP:
+            return self._apply_flip(spec, "data")
+        if kind is FaultKind.NODE_CORRUPT:
+            return self._apply_flip(spec, "code")
+        if kind is FaultKind.SPLICE:
+            return self._apply_splice(spec)
+        if kind is FaultKind.REPLAY:
+            return self._apply_replay(spec, "data")
+        if kind is FaultKind.COUNTER_ROLLBACK:
+            return self._apply_replay(spec, "counter")
+        raise ValueError(f"unknown fault kind: {kind}")
+
+    def _apply_flip(self, spec: FaultSpec, region: str) -> FaultEvent:
+        address = self._pick_target(spec, region)
+        image = bytearray(self._blocks.get(address,
+                                           bytes(self.block_size)))
+        nbits = max(1, spec.bits)
+        positions = tuple(sorted(self.rng.sample(
+            range(len(image) * 8), min(nbits, len(image) * 8))))
+        for bit in positions:
+            image[bit // 8] ^= 1 << (bit % 8)
+        self._blocks[address] = bytes(image)
+        return FaultEvent(
+            spec=spec, address=address, access_index=self.accesses,
+            flipped_bits=positions,
+            detail=f"flipped {len(positions)} bit(s) at {address:#x} "
+                   f"({region} region)",
+        )
+
+    def _apply_splice(self, spec: FaultSpec) -> FaultEvent:
+        address = self._pick_target(spec, "data")
+        if spec.partner is not None:
+            partner = spec.partner
+        else:
+            partner = self._pick_target(
+                FaultSpec(kind=spec.kind), "data", exclude=address)
+        if partner == address:
+            raise FaultSkipped("splice needs two distinct blocks")
+        a = self._blocks.get(address, bytes(self.block_size))
+        b = self._blocks.get(partner, bytes(self.block_size))
+        self._blocks[address], self._blocks[partner] = b, a
+        return FaultEvent(
+            spec=spec, address=address, partner=partner,
+            access_index=self.accesses,
+            detail=f"spliced ciphertexts of {address:#x} and {partner:#x}",
+        )
+
+    def _apply_replay(self, spec: FaultSpec, region: str) -> FaultEvent:
+        # A replay needs a block with at least two recorded versions whose
+        # stale image differs from what is currently stored.
+        if spec.address is not None:
+            candidates = [spec.address]
+        else:
+            lo, hi = self._regions.get(region, (0, self.size_bytes))
+            candidates = sorted(
+                a for a, versions in self._history.items()
+                if lo <= a < hi and len(versions) >= 2
+                and versions[0] != self._blocks.get(a)
+            )
+        if not candidates:
+            raise FaultSkipped(f"no replayable block in {region} region")
+        address = (candidates[0] if len(candidates) == 1
+                   else self.rng.choice(candidates))
+        versions = self._history.get(address, [])
+        if len(versions) < 2 or versions[0] == self._blocks.get(address):
+            raise FaultSkipped(f"block {address:#x} has no stale version")
+        self._blocks[address] = versions[0]
+        return FaultEvent(
+            spec=spec, address=address, access_index=self.accesses,
+            replayed_version=0,
+            detail=f"rolled {address:#x} back to its first recorded image "
+                   f"({region} region)",
+        )
+
+
+@dataclass
+class BusTransaction:
+    """One recorded bus transfer (for trace differencing)."""
+
+    now: float
+    num_bytes: int
+    start: float
+    end: float
+    jammed: bool = False
+
+
+class AdversarialBus(MemoryBus):
+    """FCFS bus that records its transaction trace and can jam transfers.
+
+    ``jam_every=N`` makes the adversary insert one ``jam_bytes`` transfer
+    of its own in front of every Nth legitimate transaction — a
+    deterministic model of contention-based interference.  The recorded
+    :attr:`trace` lets tests assert that two runs of the same seed are
+    transaction-identical.
+    """
+
+    def __init__(self, width_bits: int = 128, bus_mhz: float = 600.0,
+                 core_mhz: float = 5000.0, jam_every: int | None = None,
+                 jam_bytes: int = 64):
+        super().__init__(width_bits=width_bits, bus_mhz=bus_mhz,
+                         core_mhz=core_mhz)
+        if jam_every is not None and jam_every < 1:
+            raise ValueError("jam_every must be >= 1")
+        self.jam_every = jam_every
+        self.jam_bytes = jam_bytes
+        self.trace: list[BusTransaction] = []
+        self.jams = 0
+        self._count = 0
+
+    def schedule(self, now: float, num_bytes: int) -> tuple[float, float]:
+        self._count += 1
+        if self.jam_every is not None and self._count % self.jam_every == 0:
+            jam_start, jam_end = super().schedule(now, self.jam_bytes)
+            self.trace.append(BusTransaction(now, self.jam_bytes,
+                                             jam_start, jam_end,
+                                             jammed=True))
+            self.jams += 1
+        start, end = super().schedule(now, num_bytes)
+        self.trace.append(BusTransaction(now, num_bytes, start, end))
+        return start, end
+
+    def reset(self) -> None:
+        super().reset()
+        self.trace = []
+        self.jams = 0
+        self._count = 0

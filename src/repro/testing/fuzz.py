@@ -1,0 +1,210 @@
+"""Seeded fuzz campaigns over every scheme preset, with a JSON report.
+
+A *campaign* is one seeded operation schedule plus one fault, replayed
+through every preset under test (the same schedule for all of them — the
+cross-scheme half of the differential oracle).  Fault kinds rotate
+deterministically with the campaign index so a short run still covers the
+whole taxonomy.  Kernel-level differential checks (table vs. scalar AES,
+GHASH, batched vs. scalar memory ops, split vs. monolithic counters) run
+once per fuzz invocation from the same master seed.
+
+``run_fuzz`` returns a :class:`FuzzReport`; ``python -m repro fuzz`` prints
+it (``--json`` for the machine-readable object) and exits non-zero when any
+fault was missed, any spurious failure appeared, or any differential check
+diverged — which is what the CI ``fuzz-smoke`` job keys on.  Scenarios that
+miss get shrunk to minimal reproducers and embedded in the report, so a
+failure seen in CI replays locally from the JSON artifact alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PRESETS
+from repro.testing.faults import FaultKind
+from repro.testing.oracle import (
+    DifferentialResult,
+    FaultOutcome,
+    ScenarioResult,
+    run_differential_checks,
+    run_scenario,
+)
+from repro.testing.schedule import Scenario, generate_scenario
+from repro.testing.shrink import shrink_scenario
+
+#: Deterministic fault-kind rotation across campaign indices.
+FAULT_ROTATION = (
+    FaultKind.BIT_FLIP,
+    FaultKind.REPLAY,
+    FaultKind.SPLICE,
+    FaultKind.COUNTER_ROLLBACK,
+    FaultKind.NODE_CORRUPT,
+)
+
+#: Outcomes that make a fuzz run fail.
+FAILURE_OUTCOMES = (FaultOutcome.MISSED, FaultOutcome.SPURIOUS)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzz invocation."""
+
+    seed: int
+    campaigns: int
+    presets: list[str]
+    weaken: str | None
+    injected: int = 0
+    detected: int = 0
+    neutralized: int = 0
+    missed: int = 0
+    unprotected: int = 0
+    not_triggered: int = 0
+    spurious: int = 0
+    scenarios_run: int = 0
+    per_preset: dict = field(default_factory=dict)
+    per_kind: dict = field(default_factory=dict)
+    differential: list = field(default_factory=list)
+    reproducers: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing slipped past the oracle."""
+        return (self.missed == 0 and self.spurious == 0
+                and all(check["passed"] for check in self.differential))
+
+    def record(self, result: ScenarioResult) -> None:
+        self.scenarios_run += 1
+        outcome = result.outcome
+        preset = result.scenario.preset
+        per_preset = self.per_preset.setdefault(preset, {})
+        per_preset[outcome.value] = per_preset.get(outcome.value, 0) + 1
+        if result.scenario.fault is not None:
+            kind = result.scenario.fault.kind.value
+            per_kind = self.per_kind.setdefault(kind, {})
+            per_kind[outcome.value] = per_kind.get(outcome.value, 0) + 1
+        if outcome is FaultOutcome.NOT_TRIGGERED:
+            self.not_triggered += 1
+            return
+        if outcome is FaultOutcome.SPURIOUS:
+            self.spurious += 1
+            return
+        if outcome is FaultOutcome.CLEAN:
+            return
+        self.injected += 1
+        if outcome is FaultOutcome.DETECTED:
+            self.detected += 1
+        elif outcome is FaultOutcome.NEUTRALIZED:
+            self.neutralized += 1
+        elif outcome is FaultOutcome.UNPROTECTED:
+            self.unprotected += 1
+        elif outcome is FaultOutcome.MISSED:
+            self.missed += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "campaigns": self.campaigns,
+            "presets": self.presets,
+            "weaken": self.weaken,
+            "scenarios_run": self.scenarios_run,
+            "faults": {
+                "injected": self.injected,
+                "detected": self.detected,
+                "neutralized": self.neutralized,
+                "missed": self.missed,
+                "unprotected": self.unprotected,
+                "not_triggered": self.not_triggered,
+                "spurious": self.spurious,
+            },
+            "per_preset": self.per_preset,
+            "per_kind": self.per_kind,
+            "differential": self.differential,
+            "reproducers": self.reproducers,
+            "ok": self.ok,
+        }
+
+
+def campaign_seed(master_seed: int, campaign: int) -> int:
+    """Derive one campaign's schedule seed (stable, collision-free)."""
+    return master_seed * 1_000_003 + campaign
+
+
+def run_fuzz(campaigns: int = 20, seed: int = 0, *,
+             presets: list[str] | None = None, weaken: str | None = None,
+             num_ops: int = 28, shrink: bool = True,
+             mac_bits: int | None = None) -> FuzzReport:
+    """Run seeded fault campaigns plus the kernel differential checks.
+
+    ``presets`` defaults to every named preset.  ``weaken`` (e.g.
+    ``"no-tree"``) sabotages every system under test while leaving its
+    *claimed* guarantee intact — used to demonstrate that the oracle
+    reports missed faults against a weakened implementation.
+    """
+    if presets is None:
+        presets = list(PRESETS)
+    else:
+        for name in presets:
+            if name not in PRESETS:
+                raise KeyError(f"unknown preset {name!r}")
+    report = FuzzReport(seed=seed, campaigns=campaigns,
+                        presets=list(presets), weaken=weaken)
+    report.differential = [
+        check.to_dict() for check in run_differential_checks(seed)
+    ]
+    for campaign in range(campaigns):
+        kind = FAULT_ROTATION[campaign % len(FAULT_ROTATION)]
+        schedule_seed = campaign_seed(seed, campaign)
+        for preset in presets:
+            scenario = generate_scenario(
+                preset, schedule_seed, fault_kind=kind,
+                num_ops=num_ops, weaken=weaken, mac_bits=mac_bits,
+            )
+            result = run_scenario(scenario)
+            report.record(result)
+            if result.outcome in FAILURE_OUTCOMES and shrink:
+                reduced, reduced_result = shrink_scenario(scenario, result)
+                report.reproducers.append({
+                    "outcome": reduced_result.outcome.value,
+                    "ops": len(reduced.ops),
+                    "violation": reduced_result.violation,
+                    "mismatch": reduced_result.mismatch,
+                    "scenario": reduced.to_dict(),
+                })
+    return report
+
+
+def format_report(report: FuzzReport) -> str:
+    """Human-readable summary of a fuzz run."""
+    lines = [
+        f"fuzz: {report.campaigns} campaign(s), seed {report.seed}, "
+        f"{len(report.presets)} preset(s)"
+        + (f", weaken={report.weaken}" if report.weaken else ""),
+        f"  scenarios run  : {report.scenarios_run}",
+        f"  faults injected: {report.injected}",
+        f"    detected     : {report.detected}",
+        f"    neutralized  : {report.neutralized}",
+        f"    unprotected  : {report.unprotected}  "
+        f"(scheme makes no integrity claim)",
+        f"    missed       : {report.missed}",
+        f"  not triggered  : {report.not_triggered}",
+        f"  spurious       : {report.spurious}",
+    ]
+    for check in report.differential:
+        status = "ok" if check["passed"] else "DIVERGED"
+        lines.append(f"  differential {check['name']:<28}: {status}"
+                     + (f" ({check['detail']})" if not check["passed"]
+                        else ""))
+    for repro in report.reproducers:
+        scenario = repro["scenario"]
+        lines.append(
+            f"  reproducer: {repro['outcome']} on {scenario['preset']} "
+            f"seed {scenario['seed']} in {repro['ops']} op(s) — replay "
+            f"with repro.testing.Scenario.from_dict(...)")
+    lines.append("  verdict        : "
+                 + ("OK" if report.ok else "FAILURES FOUND"))
+    return "\n".join(lines)
+
+
+def replay_reproducer(data: dict) -> ScenarioResult:
+    """Replay a reproducer dict from a fuzz report (determinism helper)."""
+    return run_scenario(Scenario.from_dict(data))

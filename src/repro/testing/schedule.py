@@ -1,0 +1,186 @@
+"""Seeded operation schedules and serializable fault scenarios.
+
+A *schedule* is a flat list of :class:`Op` — reads, writes, forced
+evictions, full flushes, and minor-counter-overflow-forcing write storms —
+over a small working set of block addresses.  Schedules are generated from
+a :class:`random.Random` seed and nothing else, so a scenario replays
+bit-for-bit from its printed seed.
+
+A :class:`Scenario` binds one schedule to one scheme preset and (at most)
+one :class:`~repro.testing.faults.FaultSpec`, injected either at an
+operation boundary (``fault_at`` — stable under schedule shrinking) or via
+a DRAM-level trigger.  ``to_dict``/``from_dict`` round-trip through JSON,
+which is how the fuzz report embeds minimal reproducers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.testing.faults import FaultKind, FaultSpec, Trigger
+
+#: Default geometry of campaign systems: small enough that the working set
+#: overflows the L2, the counter cache, and the node cache (faults need
+#: *evicted* state in DRAM to target — a counter rollback is impossible
+#: while the counter block sits on-chip), large enough for several
+#: encryption pages.
+PROTECTED_BYTES = 64 * 1024
+L2_SIZE = 2 * 1024
+L2_ASSOC = 2
+#: A single-line counter cache: every switch between counter blocks is a
+#: (dirty) eviction, so counter blocks accumulate multiple DRAM versions —
+#: the raw material of a counter-rollback fault.
+COUNTER_CACHE_SIZE = 64
+COUNTER_CACHE_ASSOC = 1
+NODE_CACHE_SIZE = 256
+
+OP_KINDS = ("read", "write", "evict", "flush", "storm")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One step of an operation schedule.
+
+    ``read``/``write`` go through the L2 like program traffic; ``evict``
+    forces the block's current contents to DRAM and drops the line (the
+    patient attacker waiting out a write-back); ``flush`` drains all dirty
+    on-chip state; ``storm`` performs ``count`` write+evict rounds against
+    one address — the minor-counter-overflow forcing pattern.
+    """
+
+    kind: str
+    address: int = 0
+    value: int = 0
+    count: int = 0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "address": self.address,
+                "value": self.value, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Op":
+        return cls(kind=data["kind"], address=data.get("address", 0),
+                   value=data.get("value", 0), count=data.get("count", 0))
+
+
+def payload(value: int, block_size: int = 64) -> bytes:
+    """Deterministic non-trivial block contents for a write value tag."""
+    return bytes((value * 131 + i * 7 + 1) & 0xFF for i in range(block_size))
+
+
+def working_set(rng: random.Random, block_size: int = 64,
+                protected_bytes: int = PROTECTED_BYTES,
+                size: int = 8) -> list[int]:
+    """Pick one block address per disjoint window of the protected region.
+
+    Stratified rather than uniform: every address lands in a different
+    counter block under every counter organization (window stride >= any
+    scheme's counter-block coverage), so interleaved writes ping-pong the
+    campaign's single-line counter cache and counter blocks accumulate
+    the multiple DRAM versions a rollback fault needs.
+    """
+    num_blocks = protected_bytes // block_size
+    size = min(size, num_blocks)
+    window = num_blocks // size
+    return [(index * window + rng.randrange(window)) * block_size
+            for index in range(size)]
+
+
+def generate_ops(rng: random.Random, addresses: list[int],
+                 num_ops: int = 32) -> tuple[Op, ...]:
+    """Generate one seeded schedule over a working set."""
+    ops: list[Op] = []
+    value = rng.randrange(256)
+    for _ in range(num_ops):
+        roll = rng.random()
+        address = rng.choice(addresses)
+        if roll < 0.40:
+            value += 1
+            ops.append(Op("write", address, value & 0xFF))
+        elif roll < 0.75:
+            ops.append(Op("read", address))
+        elif roll < 0.90:
+            ops.append(Op("evict", address))
+        elif roll < 0.96:
+            value += 8
+            ops.append(Op("storm", address, value & 0xFF,
+                          count=rng.randrange(3, 9)))
+        else:
+            ops.append(Op("flush"))
+    return tuple(ops)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic experiment: preset + schedule + at most one fault.
+
+    ``fault_at`` injects the fault immediately before executing
+    ``ops[fault_at]`` (clamped to the end of the schedule); when ``None``
+    and the fault carries a trigger, the fault is armed on the adversarial
+    device instead.  ``weaken`` names a deliberate sabotage of the system
+    under test (currently ``"no-tree"``: the Merkle tree is detached after
+    construction) used to prove the oracle catches a weakened system.
+    """
+
+    preset: str
+    seed: int
+    ops: tuple[Op, ...]
+    fault: FaultSpec | None = None
+    fault_at: int | None = None
+    mac_bits: int | None = None
+    weaken: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "ops": [op.to_dict() for op in self.ops],
+            "fault": self.fault.to_dict() if self.fault else None,
+            "fault_at": self.fault_at,
+            "mac_bits": self.mac_bits,
+            "weaken": self.weaken,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        fault = data.get("fault")
+        return cls(
+            preset=data["preset"],
+            seed=data["seed"],
+            ops=tuple(Op.from_dict(op) for op in data["ops"]),
+            fault=FaultSpec.from_dict(fault) if fault else None,
+            fault_at=data.get("fault_at"),
+            mac_bits=data.get("mac_bits"),
+            weaken=data.get("weaken"),
+        )
+
+    def with_ops(self, ops: tuple[Op, ...],
+                 fault_at: int | None = None) -> "Scenario":
+        return replace(self, ops=ops, fault_at=fault_at)
+
+
+def generate_scenario(preset: str, seed: int, *,
+                      fault_kind: FaultKind | None = None,
+                      num_ops: int = 32, weaken: str | None = None,
+                      mac_bits: int | None = None) -> Scenario:
+    """Build one seeded scenario for a preset.
+
+    The schedule depends only on ``seed`` (not on the preset), so the same
+    seed replays an identical operation stream through every scheme — the
+    cross-preset half of the differential oracle.
+    """
+    rng = random.Random(seed)
+    addresses = working_set(rng)
+    ops = generate_ops(rng, addresses, num_ops=num_ops)
+    fault = None
+    fault_at = None
+    if fault_kind is not None:
+        fault = FaultSpec(kind=fault_kind,
+                          bits=rng.choice((1, 2, 5)))
+        # Inject in the second half of the schedule so enough state has
+        # reached DRAM to give the fault a target.
+        low = max(1, num_ops // 2)
+        fault_at = rng.randrange(low, num_ops) if num_ops > low else low
+    return Scenario(preset=preset, seed=seed, ops=ops, fault=fault,
+                    fault_at=fault_at, mac_bits=mac_bits, weaken=weaken)

@@ -1,0 +1,102 @@
+"""Schedule shrinking: reduce a failing scenario to a minimal reproducer.
+
+A delta-debugging-style minimizer over the scenario's operation list.  A
+candidate reduction is accepted only if re-running the whole scenario still
+produces the same failing outcome, so correctness never depends on guessing
+how removal shifts later state — every candidate is revalidated end to end.
+
+Before shrinking, the fault is *concretized*: the target address the seeded
+RNG chose on the original run is pinned into the spec, so dropping earlier
+operations cannot silently retarget the fault at a different block.
+
+The algorithm removes exponentially larger chunks first (halves, quarters,
+…) and finishes with single-op elimination, iterating to a fixed point.
+Its cost is O(n log n) scenario replays in the common case, and the
+shrunken scenario replays deterministically from its own ``to_dict()``
+serialization (seed included) — the "printed seed" workflow:
+
+    result = run_scenario(Scenario.from_dict(reproducer_dict))
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.testing.oracle import FaultOutcome, ScenarioResult, run_scenario
+from repro.testing.schedule import Scenario
+
+
+def concretize_fault(scenario: Scenario,
+                     result: ScenarioResult) -> Scenario:
+    """Pin the fired fault's chosen targets into the spec."""
+    if scenario.fault is None or result.fired is None:
+        return scenario
+    fault = replace(scenario.fault, address=result.fired.address,
+                    partner=result.fired.partner)
+    return replace(scenario, fault=fault)
+
+
+def _same_failure(scenario: Scenario,
+                  outcome: FaultOutcome) -> ScenarioResult | None:
+    """Re-run; return the result if the outcome is unchanged, else None."""
+    result = run_scenario(scenario)
+    return result if result.outcome is outcome else None
+
+
+def _candidate(scenario: Scenario, keep: list[bool]) -> Scenario:
+    """Scenario with only the kept ops, fault index remapped."""
+    ops = tuple(op for op, kept in zip(scenario.ops, keep) if kept)
+    fault_at = scenario.fault_at
+    if fault_at is not None:
+        fault_at = sum(1 for kept in keep[:fault_at] if kept)
+    return scenario.with_ops(ops, fault_at=fault_at)
+
+
+def shrink_scenario(scenario: Scenario, result: ScenarioResult | None = None,
+                    max_replays: int = 400,
+                    ) -> tuple[Scenario, ScenarioResult]:
+    """Minimize a failing scenario while preserving its outcome.
+
+    Returns the smallest scenario found and its (re-validated) result.
+    ``max_replays`` bounds the total number of re-executions so a
+    pathological scenario cannot stall a fuzz run.
+    """
+    if result is None:
+        result = run_scenario(scenario)
+    outcome = result.outcome
+    scenario = concretize_fault(scenario, result)
+    revalidated = _same_failure(scenario, outcome)
+    if revalidated is None:
+        # Concretization changed behaviour (should not happen, but never
+        # let the shrinker replace a real failure with a non-failure).
+        return scenario.with_ops(scenario.ops, fault_at=scenario.fault_at), \
+            result
+    best, best_result = scenario, revalidated
+    replays = 1
+
+    improved = True
+    while improved and replays < max_replays:
+        improved = False
+        n = len(best.ops)
+        if n == 0:
+            break
+        chunk = max(1, n // 2)
+        while chunk >= 1 and replays < max_replays:
+            start = 0
+            while start < len(best.ops) and replays < max_replays:
+                keep = [True] * len(best.ops)
+                for index in range(start, min(start + chunk,
+                                              len(best.ops))):
+                    keep[index] = False
+                candidate = _candidate(best, keep)
+                replays += 1
+                candidate_result = _same_failure(candidate, outcome)
+                if candidate_result is not None:
+                    best, best_result = candidate, candidate_result
+                    improved = True
+                    # Do not advance: the same window now names new ops.
+                else:
+                    start += chunk
+            chunk //= 2
+    return best, best_result

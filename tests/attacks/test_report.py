@@ -1,0 +1,38 @@
+"""AttackReport presentation: every (detected, succeeded) cell is distinct."""
+
+from repro.attacks import AttackReport
+
+
+def _report(detected, succeeded):
+    return AttackReport(attack="probe", detected=detected,
+                        succeeded=succeeded, details="d")
+
+
+class TestAttackReportStr:
+    def test_detected_and_succeeded_shows_both(self):
+        """Late detection must not masquerade as a clean defence."""
+        text = str(_report(detected=True, succeeded=True))
+        assert "DETECTED-BUT-SUCCEEDED" in text
+
+    def test_detected_only(self):
+        assert "DETECTED" in str(_report(True, False))
+        assert "SUCCEEDED" not in str(_report(True, False))
+
+    def test_succeeded_only(self):
+        assert "SUCCEEDED" in str(_report(False, True))
+        assert "DETECTED" not in str(_report(False, True))
+
+    def test_neutralized(self):
+        assert "NEUTRALIZED" in str(_report(False, False))
+
+    def test_defended_property_matches_str(self):
+        # Late detection counts as defended (alarm raised) even though the
+        # string calls out the success — both faces must stay visible.
+        report = _report(True, True)
+        assert report.defended
+        assert "SUCCEEDED" in str(report)
+
+    def test_all_four_cells_distinct(self):
+        cells = {str(_report(d, s)) for d in (False, True)
+                 for s in (False, True)}
+        assert len(cells) == 4

@@ -4,11 +4,20 @@ import pytest
 
 from repro.core.config import baseline_config, direct_config
 from repro.sim.metrics import (
+    NormalizedResult,
     arithmetic_mean,
     geometric_mean,
     run_normalized,
 )
+from repro.sim.processor import SimResult
 from repro.workloads.trace import Trace
+
+
+def sim_result(instructions, cycles, name="synthetic"):
+    """A hand-built SimResult; memory is unused by the metrics layer."""
+    return SimResult(name=name, instructions=instructions, cycles=cycles,
+                     l1_hits=0, l1_misses=0, l2_hits=0, l2_misses=0,
+                     writebacks=0, memory=None)
 
 
 def miss_trace(n=200):
@@ -33,6 +42,48 @@ class TestNormalization:
         base = simulate(baseline_config(), trace)
         result = run_normalized(direct_config(), trace, baseline=base)
         assert result.baseline is base
+
+
+class TestNormalizedResultEdgeCases:
+    def test_zero_cycle_result_has_zero_ipc(self):
+        assert sim_result(100, 0).ipc == 0.0
+
+    def test_zero_baseline_ipc_does_not_divide(self):
+        """A dead baseline (0 cycles → 0 IPC) must yield 0, not raise."""
+        cell = NormalizedResult(app="a", scheme="s",
+                                baseline=sim_result(100, 0),
+                                result=sim_result(100, 200))
+        assert cell.normalized_ipc == 0.0
+        assert cell.overhead == 1.0
+
+    def test_overhead_positive_when_scheme_slower(self):
+        cell = NormalizedResult(app="a", scheme="s",
+                                baseline=sim_result(1000, 1000),   # IPC 1.0
+                                result=sim_result(1000, 1250))     # IPC 0.8
+        assert cell.normalized_ipc == pytest.approx(0.8)
+        assert cell.overhead == pytest.approx(0.2)
+
+    def test_overhead_negative_when_scheme_faster(self):
+        cell = NormalizedResult(app="a", scheme="s",
+                                baseline=sim_result(1000, 1250),   # IPC 0.8
+                                result=sim_result(1000, 1000))     # IPC 1.0
+        assert cell.normalized_ipc == pytest.approx(1.25)
+        assert cell.overhead == pytest.approx(-0.25)
+
+    def test_multi_app_average_hand_computed(self):
+        """The figure-level average over apps, checked against paper math:
+        nIPCs 0.9, 0.8, 0.6 → arithmetic 0.766…, geometric (0.432)^(1/3)."""
+        cells = [
+            NormalizedResult(app=a, scheme="s",
+                             baseline=sim_result(1000, 1000),
+                             result=sim_result(1000, cycles))
+            for a, cycles in (("x", 1000 / 0.9), ("y", 1250),
+                              ("z", 1000 / 0.6))
+        ]
+        nipcs = [cell.normalized_ipc for cell in cells]
+        assert arithmetic_mean(nipcs) == pytest.approx((0.9 + 0.8 + 0.6) / 3)
+        assert geometric_mean(nipcs) == pytest.approx(
+            (0.9 * 0.8 * 0.6) ** (1 / 3))
 
 
 class TestMeans:

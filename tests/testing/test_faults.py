@@ -1,0 +1,186 @@
+"""Unit tests for the adversarial DRAM / bus fault-injection devices."""
+
+import random
+
+import pytest
+
+from repro.core import SecureMemorySystem, split_gcm_config
+from repro.memory.bus import MemoryBus
+from repro.testing import (
+    AdversarialBus,
+    AdversarialDRAM,
+    FaultKind,
+    FaultSpec,
+    Trigger,
+)
+
+
+def _device(rng_seed=0, size=1 << 20):
+    device = AdversarialDRAM(size_bytes=size, block_size=64,
+                             latency_cycles=1,
+                             rng=random.Random(rng_seed))
+    device.set_layout(data_end=size // 2, code_base=3 * size // 4,
+                      total=size)
+    return device
+
+
+class TestTriggers:
+    def test_write_trigger_fires_post_eviction(self):
+        """kind="write" is the post-write-back hook: the stored image is
+        already in DRAM when the fault mutates it."""
+        device = _device()
+        device.arm(FaultSpec(
+            kind=FaultKind.BIT_FLIP,
+            trigger=Trigger(count=1, kind="write", region="data"),
+        ))
+        device.write_block(0, b"\xAA" * 64)
+        assert len(device.events) == 1
+        assert device.read_block(0) != b"\xAA" * 64
+
+    def test_nth_access_trigger(self):
+        device = _device()
+        device.write_block(0, b"\x01" * 64)
+        device.arm(FaultSpec(
+            kind=FaultKind.BIT_FLIP, address=0,
+            trigger=Trigger(count=3, kind="read", region="data"),
+        ))
+        device.read_block(0)
+        device.read_block(0)
+        assert not device.events
+        device.read_block(0)
+        assert len(device.events) == 1
+
+    def test_address_and_region_filters(self):
+        device = _device()
+        device.write_block(0, b"\x01" * 64)
+        device.write_block(64, b"\x02" * 64)
+        device.arm(FaultSpec(
+            kind=FaultKind.BIT_FLIP, address=64,
+            trigger=Trigger(count=1, kind="read", address=64),
+        ))
+        device.read_block(0)          # filtered out
+        assert not device.events
+        device.read_block(64)
+        assert device.events[0].address == 64
+
+    def test_triggers_are_one_shot(self):
+        device = _device()
+        device.write_block(0, b"\x01" * 64)
+        device.arm(FaultSpec(
+            kind=FaultKind.BIT_FLIP, address=0,
+            trigger=Trigger(count=1, kind="read"),
+        ))
+        for _ in range(4):
+            device.read_block(0)
+        assert len(device.events) == 1
+
+    def test_arm_requires_trigger(self):
+        device = _device()
+        with pytest.raises(ValueError):
+            device.arm(FaultSpec(kind=FaultKind.BIT_FLIP))
+
+
+class TestFaultApplication:
+    def test_bit_flip_deterministic_from_seed(self):
+        images = []
+        for _ in range(2):
+            device = _device(rng_seed=7)
+            device.write_block(0, bytes(64))
+            device.fire_now(FaultSpec(kind=FaultKind.BIT_FLIP,
+                                      address=0, bits=3))
+            images.append(device.read_block(0))
+        assert images[0] == images[1]
+        assert sum(bin(b).count("1") for b in images[0]) == 3
+
+    def test_splice_swaps_two_images(self):
+        device = _device()
+        device.write_block(0, b"\x0A" * 64)
+        device.write_block(64, b"\x0B" * 64)
+        event = device.fire_now(FaultSpec(kind=FaultKind.SPLICE,
+                                          address=0, partner=64))
+        assert event is not None
+        assert device.read_block(0) == b"\x0B" * 64
+        assert device.read_block(64) == b"\x0A" * 64
+
+    def test_replay_restores_first_version(self):
+        device = _device()
+        device.write_block(0, b"\x01" * 64)
+        device.write_block(0, b"\x02" * 64)
+        event = device.fire_now(FaultSpec(kind=FaultKind.REPLAY, address=0))
+        assert event is not None and event.replayed_version == 0
+        assert device.read_block(0) == b"\x01" * 64
+
+    def test_replay_without_stale_version_is_skipped(self):
+        device = _device()
+        device.write_block(0, b"\x01" * 64)
+        event = device.fire_now(FaultSpec(kind=FaultKind.REPLAY))
+        assert event is None
+        assert device.skipped
+
+    def test_counter_rollback_targets_counter_region(self):
+        device = _device()
+        counter_lo, _ = device._regions["counter"]
+        device.write_block(0, b"\x0D" * 64)              # data region
+        device.write_block(0, b"\x0E" * 64)
+        device.write_block(counter_lo, b"\x01" * 64)
+        device.write_block(counter_lo, b"\x02" * 64)
+        event = device.fire_now(FaultSpec(kind=FaultKind.COUNTER_ROLLBACK))
+        assert event is not None
+        assert event.address == counter_lo
+        assert device.read_block(counter_lo) == b"\x01" * 64
+        assert device.read_block(0) == b"\x0E" * 64      # data untouched
+
+    def test_node_corrupt_targets_code_region(self):
+        device = _device()
+        code_lo, _ = device._regions["code"]
+        device.write_block(code_lo, b"\x33" * 64)
+        event = device.fire_now(FaultSpec(kind=FaultKind.NODE_CORRUPT))
+        assert event is not None
+        assert event.address == code_lo
+        assert device.read_block(code_lo) != b"\x33" * 64
+
+
+class TestWrapAndSerialization:
+    def test_wrap_adopts_live_system(self):
+        system = SecureMemorySystem(split_gcm_config(),
+                                    protected_bytes=16 * 1024,
+                                    l2_size=1024, l2_assoc=2)
+        system.write_block(0, b"\x42" * 64)
+        device = AdversarialDRAM.wrap(system, rng=random.Random(0))
+        assert system.dram is device
+        assert system.merkle.dram is device
+        assert system.read_block(0) == b"\x42" * 64
+
+    def test_spec_round_trips_through_dict(self):
+        spec = FaultSpec(kind=FaultKind.SPLICE, address=128, partner=256,
+                         bits=2, trigger=Trigger(count=4, kind="write",
+                                                 region="counter"))
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestAdversarialBus:
+    def test_trace_records_every_transaction(self):
+        bus = AdversarialBus()
+        bus.schedule(0.0, 64)
+        bus.schedule(10.0, 128)
+        assert [t.num_bytes for t in bus.trace] == [64, 128]
+
+    def test_jamming_delays_legitimate_traffic(self):
+        clean = MemoryBus()
+        jammed = AdversarialBus(jam_every=1, jam_bytes=64)
+        _, clean_end = clean.schedule(0.0, 64)
+        _, jammed_end = jammed.schedule(0.0, 64)
+        assert jammed_end > clean_end
+        assert jammed.jams == 1
+        assert [t.jammed for t in jammed.trace] == [True, False]
+
+    def test_same_seed_same_trace(self):
+        def run():
+            bus = AdversarialBus(jam_every=3)
+            rng = random.Random(5)
+            for _ in range(20):
+                bus.schedule(rng.random() * 100, rng.choice((64, 128)))
+            return [(t.start, t.end, t.jammed) for t in bus.trace]
+
+        assert run() == run()

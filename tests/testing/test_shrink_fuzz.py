@@ -1,0 +1,115 @@
+"""Shrinking and campaign-runner tests: minimal reproducers, determinism."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.testing import (
+    FaultKind,
+    FaultOutcome,
+    FuzzReport,
+    Scenario,
+    generate_scenario,
+    replay_reproducer,
+    run_fuzz,
+    run_scenario,
+    shrink_scenario,
+)
+
+
+def _weakened(seed, kind=FaultKind.REPLAY, preset="split+gcm"):
+    return dataclasses.replace(
+        generate_scenario(preset, seed, fault_kind=kind),
+        weaken="no-tree")
+
+
+def _find_missed(max_seeds=30):
+    for seed in range(max_seeds):
+        scenario = _weakened(seed)
+        result = run_scenario(scenario)
+        if result.outcome is FaultOutcome.MISSED:
+            return scenario, result
+    pytest.fail("no weakened seed produced a missed fault")
+
+
+class TestShrink:
+    def test_shrinks_to_small_reproducer(self):
+        scenario, result = _find_missed()
+        reduced, reduced_result = shrink_scenario(scenario, result)
+        assert reduced_result.outcome is FaultOutcome.MISSED
+        assert len(reduced.ops) <= 10
+        assert len(reduced.ops) < len(scenario.ops)
+
+    def test_shrunk_scenario_replays_from_serialized_dict(self):
+        scenario, result = _find_missed()
+        reduced, reduced_result = shrink_scenario(scenario, result)
+        wire = json.dumps(reduced.to_dict())        # survives JSON
+        replayed = run_scenario(Scenario.from_dict(json.loads(wire)))
+        assert replayed.outcome is reduced_result.outcome
+        assert replayed.mismatch == reduced_result.mismatch
+
+    def test_concretization_pins_fired_target(self):
+        scenario, result = _find_missed()
+        reduced, _ = shrink_scenario(scenario, result)
+        assert reduced.fault.address == result.fired.address
+
+    def test_shrink_preserves_outcome_not_just_failure(self):
+        """The minimizer must never swap one failing outcome for another."""
+        scenario, result = _find_missed()
+        reduced, reduced_result = shrink_scenario(scenario, result)
+        assert reduced_result.outcome is result.outcome
+
+
+class TestFuzzRunner:
+    def test_smoke_report_is_green(self):
+        report = run_fuzz(campaigns=2, seed=0,
+                          presets=["split+gcm", "split", "mono+sha"])
+        assert report.ok
+        assert report.missed == 0 and report.spurious == 0
+        assert report.scenarios_run == 2 * 3
+        assert all(check["passed"] for check in report.differential)
+
+    def test_report_counts_are_consistent(self):
+        report = run_fuzz(campaigns=3, seed=1, presets=["split+gcm"])
+        accounted = (report.injected + report.not_triggered
+                     + report.spurious)
+        assert accounted == report.scenarios_run
+        assert report.injected == (report.detected + report.neutralized
+                                   + report.unprotected + report.missed)
+
+    def test_same_seed_same_report(self):
+        first = run_fuzz(campaigns=2, seed=4, presets=["split+gcm"])
+        second = run_fuzz(campaigns=2, seed=4, presets=["split+gcm"])
+        assert first.to_dict() == second.to_dict()
+
+    def test_weakened_run_embeds_replayable_reproducers(self):
+        report = run_fuzz(campaigns=4, seed=0, presets=["split+gcm"],
+                          weaken="no-tree")
+        assert not report.ok
+        assert report.missed > 0
+        assert report.reproducers
+        for repro in report.reproducers:
+            assert repro["ops"] <= 10
+            replayed = replay_reproducer(repro["scenario"])
+            assert replayed.outcome.value == repro["outcome"]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            run_fuzz(campaigns=1, presets=["no-such-preset"])
+
+    def test_report_json_round_trip(self):
+        report = run_fuzz(campaigns=1, seed=2, presets=["split+gcm"])
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert data["faults"]["missed"] == 0
+
+    def test_mac_bits_override_reaches_systems(self):
+        report = run_fuzz(campaigns=1, seed=0, presets=["split+gcm"],
+                          mac_bits=32)
+        assert report.ok
+
+    def test_ok_is_false_on_diverged_differential(self):
+        report = FuzzReport(seed=0, campaigns=0, presets=[], weaken=None)
+        report.differential = [{"name": "x", "passed": False, "detail": ""}]
+        assert not report.ok
