@@ -13,6 +13,14 @@ Commands:
   fault-injection harness over the scheme presets; exits non-zero when any
   fault was missed, any spurious violation appeared, or a differential
   check diverged (see :mod:`repro.testing`).
+* ``profile --app mcf --scheme split+gcm [--trace-out t.json] [--csv-out
+  t.csv] [--json]`` — run one traced simulation, decompose every L2 miss's
+  latency into bus/DRAM/AES/GHASH/tree components, and report the
+  per-component totals; exits non-zero if any miss's attribution residual
+  exceeds ``--tolerance`` (default 1%).
+
+JSON contract: with ``--json``, stdout carries exactly one JSON document
+and nothing else — all progress and notes go to stderr.
 
 The CLI is a thin layer over :mod:`repro.api`; anything it prints is
 available programmatically from :class:`repro.api.ExperimentResult`.
@@ -120,6 +128,49 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs import AttributionError
+
+    try:
+        config = api.get_config(args.scheme)
+    except KeyError as exc:
+        print(f"unknown scheme {args.scheme!r}; see `python -m repro "
+              f"schemes` ({exc.args[0]})", file=sys.stderr)
+        return 2
+    try:
+        profiled = api.profile(
+            config, args.app, refs=args.refs, tolerance=args.tolerance,
+            trace_out=args.trace_out, csv_out=args.csv_out,
+        )
+    except AttributionError as exc:
+        # Strict recording already failed a miss mid-run: the breakdown
+        # did not sum to the observed latency.
+        print(f"attribution identity violated: {exc}", file=sys.stderr)
+        return 1
+    report = profiled.attribution
+    if args.trace_out:
+        print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    if args.csv_out:
+        print(f"wrote CSV to {args.csv_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(profiled.to_dict(), indent=2))
+        return 0 if profiled.ok else 1
+    result = profiled.result
+    print(f"app={args.app} scheme={args.scheme} refs={args.refs}")
+    print(f"  normalized IPC      : {result.normalized_ipc:.3f}")
+    print(f"  misses attributed   : {report.misses}")
+    print(f"  mean miss latency   : {report.mean_latency:,.1f} cycles")
+    print(f"  max miss latency    : {report.max_latency:,.1f} cycles")
+    print(f"  max residual        : {report.max_residual_fraction:.2%} "
+          f"(tolerance {profiled.tolerance:.0%})")
+    for component, fraction in sorted(report.fractions().items(),
+                                      key=lambda kv: -kv[1]):
+        if report.components.get(component):
+            print(f"    {component:<13}: {fraction:7.1%}  "
+                  f"({report.components[component]:,.0f} cycles)")
+    return 0 if profiled.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -160,10 +211,23 @@ def main(argv: list[str] | None = None) -> int:
                       help="skip minimizing failing schedules")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the machine-readable report")
+    prof = sub.add_parser(
+        "profile", help="traced simulation with per-miss cycle attribution")
+    prof.add_argument("--app", default="swim", choices=SPEC_APPS)
+    prof.add_argument("--scheme", default="split+gcm")
+    prof.add_argument("--refs", type=int, default=60_000)
+    prof.add_argument("--tolerance", type=float, default=0.01,
+                      help="max per-miss attribution residual (default 1%%)")
+    prof.add_argument("--trace-out", metavar="PATH",
+                      help="write a Chrome/Perfetto trace JSON here")
+    prof.add_argument("--csv-out", metavar="PATH",
+                      help="write the flat CSV event dump here")
+    prof.add_argument("--json", action="store_true",
+                      help="emit one machine-readable JSON object")
     args = parser.parse_args(argv)
     return {"schemes": _cmd_schemes, "apps": _cmd_apps,
             "simulate": _cmd_simulate, "attack": _cmd_attack,
-            "fuzz": _cmd_fuzz}[args.command](args)
+            "fuzz": _cmd_fuzz, "profile": _cmd_profile}[args.command](args)
 
 
 if __name__ == "__main__":

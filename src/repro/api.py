@@ -27,19 +27,30 @@ Example::
 from __future__ import annotations
 
 import difflib
-from dataclasses import asdict, dataclass
+import math
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.core.config import PRESETS, SecureMemoryConfig
+from repro.obs import (
+    AttributionReport,
+    RecordingTracer,
+    Tracer,
+    build_report,
+    write_chrome_trace,
+    write_csv,
+)
 from repro.sim import SimResult, simulate
 from repro.workloads import SPEC_APPS, spec_trace
 
 __all__ = [
     "Experiment",
     "ExperimentResult",
+    "ProfileResult",
     "fuzz",
     "get_config",
     "list_configs",
+    "profile",
     "run",
 ]
 
@@ -118,7 +129,8 @@ class Experiment:
     def __init__(self, config: SecureMemoryConfig | str,
                  workload: Any = "swim", *, refs: int = 60_000,
                  warmup_refs: int | None = None,
-                 baseline: SimResult | None = None):
+                 baseline: SimResult | None = None,
+                 trace: Tracer | str | None = None):
         self.config = get_config(config) if isinstance(config, str) else config
         if isinstance(workload, str) and workload not in SPEC_APPS:
             raise ValueError(
@@ -132,6 +144,14 @@ class Experiment:
         #: pass a prior run's baseline to skip re-simulating it (it must
         #: come from the identical trace for the normalization to be fair)
         self.baseline_result: SimResult | None = baseline
+        #: ``trace=`` accepts a :class:`~repro.obs.Tracer` to record into,
+        #: or a file path — then a RecordingTracer is created and a Chrome
+        #: trace is written there after ``run()``.
+        self._trace_out: str | None = None
+        if isinstance(trace, str):
+            self._trace_out = trace
+            trace = RecordingTracer()
+        self.tracer: Tracer | None = trace
 
     def _trace(self):
         if isinstance(self.workload, str):
@@ -144,11 +164,17 @@ class Experiment:
         if baseline is None:
             baseline = simulate(get_config("baseline"), trace,
                                 warmup_refs=self.warmup_refs)
-        result = simulate(self.config, trace, warmup_refs=self.warmup_refs)
+        result = simulate(self.config, trace, warmup_refs=self.warmup_refs,
+                          tracer=self.tracer)
         self.baseline_result = baseline
         self.result = result
+        if self._trace_out is not None:
+            write_chrome_trace(self.tracer, self._trace_out)
         memory = result.memory
-        nipc = result.ipc / baseline.ipc if baseline.ipc else 0.0
+        # nan, not 0.0, when the baseline is broken — matching
+        # NormalizedResult so a bad cell cannot pose as "infinitely slow".
+        nipc = (result.ipc / baseline.ipc if baseline.ipc
+                else float("nan"))
         counter_cache = memory.counter_cache
         pads = memory.stats.pads
         reenc = memory.stats.reencryption
@@ -181,10 +207,79 @@ class Experiment:
 
 
 def run(config: SecureMemoryConfig | str, workload: Any = "swim", *,
-        refs: int = 60_000, warmup_refs: int | None = None) -> ExperimentResult:
-    """One-shot: build an :class:`Experiment` and run it."""
+        refs: int = 60_000, warmup_refs: int | None = None,
+        trace: Tracer | str | None = None) -> ExperimentResult:
+    """One-shot: build an :class:`Experiment` and run it.
+
+    ``trace`` takes a :class:`~repro.obs.RecordingTracer` (the caller keeps
+    the reference and inspects events/misses afterwards) or a file path (a
+    Chrome trace is written there when the run completes).
+    """
     return Experiment(config, workload, refs=refs,
-                      warmup_refs=warmup_refs).run()
+                      warmup_refs=warmup_refs, trace=trace).run()
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of a traced, attribution-checked run."""
+
+    result: ExperimentResult
+    attribution: AttributionReport
+    tracer: RecordingTracer
+    tolerance: float
+    trace_path: str | None = None
+    csv_path: str | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every miss's attribution summed within tolerance."""
+        return self.attribution.max_residual_fraction <= self.tolerance
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "result": self.result.to_dict(),
+            "attribution": self.attribution.to_dict(),
+            "events": len(self.tracer.events),
+            "misses": len(self.tracer.misses),
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "trace_path": self.trace_path,
+            "csv_path": self.csv_path,
+        }
+
+
+def profile(config: SecureMemoryConfig | str, workload: Any = "swim", *,
+            refs: int = 60_000, warmup_refs: int | None = None,
+            tolerance: float = 0.01, trace_out: str | None = None,
+            csv_out: str | None = None) -> ProfileResult:
+    """Run one traced experiment and decompose every miss's latency.
+
+    The simulation runs under a strict :class:`~repro.obs.RecordingTracer`
+    (each miss's component breakdown is asserted against its observed
+    ``auth_done - issue`` as it is recorded), then the per-component
+    attribution report is built over all misses.  Optional exports:
+    ``trace_out`` (Chrome/Perfetto JSON) and ``csv_out`` (flat CSV).
+    """
+    tracer = RecordingTracer(strict=True, tolerance=tolerance)
+    experiment = Experiment(config, workload, refs=refs,
+                            warmup_refs=warmup_refs, trace=tracer)
+    result = experiment.run()
+    report = build_report(tracer.misses, tolerance=tolerance)
+    if trace_out is not None:
+        write_chrome_trace(tracer, trace_out)
+    if csv_out is not None:
+        write_csv(tracer, csv_out)
+    snapshot = experiment.result.memory.metrics.snapshot()
+    metrics = {
+        name: (None if isinstance(value, float) and math.isnan(value)
+               else value)
+        for name, value in snapshot.items()
+        if isinstance(value, (int, float))
+    }
+    return ProfileResult(result=result, attribution=report, tracer=tracer,
+                         tolerance=tolerance, trace_path=trace_out,
+                         csv_path=csv_out, metrics=metrics)
 
 
 def fuzz(campaigns: int = 20, seed: int = 0, **kwargs: Any):

@@ -36,6 +36,8 @@ from repro.auth.schemes import MACScheme
 from repro.crypto.gcm import constant_time_equal
 from repro.memory.cache import Cache
 from repro.memory.dram import MainMemory
+from repro.obs.metrics import reset_fields
+from repro.obs.tracer import Tracer
 
 
 class IntegrityViolation(Exception):
@@ -59,17 +61,16 @@ class MerkleStats:
         self.chain_lengths[length] = self.chain_lengths.get(length, 0) + 1
 
     def reset(self) -> None:
-        self.leaf_verifications = 0
-        self.leaf_updates = 0
-        self.node_fetches = 0
-        self.node_writebacks = 0
-        self.mac_computations = 0
-        self.violations_detected = 0
-        self.chain_lengths = {}
+        reset_fields(self)
 
 
 class MerkleTree:
     """Cached K-ary Merkle tree with derivative counters and a root register."""
+
+    #: optional observability hook; leaf verifies/updates, node fetches,
+    #: and violations become "merkle" track instants (sequenced by the
+    #: functional op count — functional time does not advance)
+    tracer: Tracer | None = None
 
     def __init__(self, geometry: TreeGeometry, mac_scheme: MACScheme,
                  dram: MainMemory, code_region_base: int,
@@ -300,19 +301,32 @@ class MerkleTree:
         mb = self.geometry.mac_bytes
         expected = bytes(payload[slot * mb:(slot + 1) * mb])
         actual = self.leaf_mac(leaf_address, counter, content)
+        tracer = self.tracer
         if not constant_time_equal(actual, expected):
             self.stats.violations_detected += 1
+            if tracer is not None and tracer.enabled:
+                tracer.instant("merkle", "violation",
+                               float(self.stats.leaf_verifications),
+                               leaf=leaf_index, address=leaf_address)
             raise IntegrityViolation(
                 f"leaf {leaf_index} (address {leaf_address:#x}) failed "
                 f"verification"
             )
         self.stats.record_chain(len(fetched))
+        if tracer is not None and tracer.enabled:
+            tracer.instant("merkle", "verify-leaf",
+                           float(self.stats.leaf_verifications),
+                           leaf=leaf_index, levels_fetched=len(fetched))
         return len(fetched)
 
     def update_leaf(self, leaf_index: int, leaf_address: int, counter: int,
                     content: bytes) -> None:
         """Install a written-back leaf's MAC; propagates to first cached node."""
         self.stats.leaf_updates += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("merkle", "update-leaf",
+                           float(self.stats.leaf_updates), leaf=leaf_index)
         parent = self.geometry.parent_index(leaf_index)
         payload, needs_dirty = self._post_target(1, parent)
         slot = self.geometry.slot_in_parent(leaf_index)

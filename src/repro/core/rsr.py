@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.tracer import Tracer
+
 
 @dataclass
 class RSR:
@@ -31,6 +33,8 @@ class RSR:
     done: list[bool] = field(default_factory=list)
     #: timing layer only: cycle at which this re-encryption completes
     busy_until: float = 0.0
+    #: optional observability hook (shared across the file's registers)
+    tracer: Tracer | None = None
 
     def allocate(self, page_index: int, old_major: int,
                  busy_until: float = 0.0) -> None:
@@ -42,6 +46,10 @@ class RSR:
         self.old_major = old_major
         self.done = [False] * self.blocks_per_page
         self.busy_until = busy_until
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("rsr", "allocate", busy_until,
+                           page=page_index, old_major=old_major)
 
     def mark_done(self, slot: int) -> None:
         self.done[slot] = True
@@ -66,6 +74,15 @@ class RSRFile:
             raise ValueError("need at least one RSR")
         self.rsrs = [RSR(blocks_per_page) for _ in range(num_rsrs)]
         self.blocks_per_page = blocks_per_page
+
+    @property
+    def tracer(self) -> Tracer | None:
+        return self.rsrs[0].tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer | None) -> None:
+        for rsr in self.rsrs:
+            rsr.tracer = tracer
 
     def find(self, page_index: int) -> RSR | None:
         """The valid RSR handling a page, if any."""

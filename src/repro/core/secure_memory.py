@@ -52,6 +52,8 @@ from repro.crypto.ctr import CHUNK_SIZE, bulk_ctr_transform, ctr_transform
 from repro.crypto.sha1 import sha1
 from repro.memory.cache import Cache
 from repro.memory.dram import MainMemory
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 def make_counter_scheme(config: SecureMemoryConfig) -> CounterScheme:
@@ -88,8 +90,9 @@ class SecureMemorySystem:
                  protected_bytes: int = 1024 * 1024,
                  base_key: bytes = b"platform-master-key!",
                  l2_size: int | None = None, l2_assoc: int = 8,
-                 dram_factory=None):
+                 dram_factory=None, tracer: Tracer | None = None):
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.block_size = config.block_size
         if protected_bytes % self.block_size:
             raise ValueError("protected_bytes must be block-aligned")
@@ -165,6 +168,25 @@ class SecureMemorySystem:
         self._materialized: set[int] = set()          # data block addresses
         self._counter_materialized: set[int] = set()  # counter block indices
         self._counter_deriv: dict[int, int] = {}      # counter-block leaves
+
+        # Unified observability: one registry over every stats object the
+        # functional system owns, plus tracer fan-out to the components
+        # that carry their own hook.
+        self.metrics = MetricsRegistry()
+        self.metrics.register("mem", self.stats)
+        self.metrics.register("l2", self.l2.stats)
+        if self.counter_cache is not None:
+            self.metrics.register("counter_cache", self.counter_cache.stats)
+        if self.merkle is not None:
+            self.metrics.register("merkle", self.merkle.stats)
+        if hasattr(self.counter_scheme, "stats"):
+            self.metrics.register("scheme", self.counter_scheme.stats)
+        if self.tracer.enabled:
+            if self.counter_cache is not None:
+                self.counter_cache.tracer = self.tracer
+            if self.merkle is not None:
+                self.merkle.tracer = self.tracer
+            self.rsr_file.tracer = self.tracer
 
     # -- address helpers -----------------------------------------------------
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import reset_fields
+
 
 @dataclass
 class ReencryptionStats:
@@ -41,15 +43,9 @@ class ReencryptionStats:
         return self.total_page_cycles / self.page_reencryptions
 
     def reset(self) -> None:
-        self.page_reencryptions = 0
-        self.full_reencryptions = 0
-        self.blocks_reencrypted = 0
-        self.blocks_found_onchip = 0
-        self.blocks_fetched = 0
-        self.blocks_untouched = 0
-        self.total_page_cycles = 0.0
-        self.max_concurrent_rsrs = 0
-        self.rsr_stalls = 0
+        # Field-driven so newly added counters can never drift (they would
+        # silently survive Experiment reuse with a hand-maintained list).
+        reset_fields(self)
 
 
 @dataclass
@@ -64,8 +60,7 @@ class PadStats:
         return self.timely_pads / self.pad_requests if self.pad_requests else 0.0
 
     def reset(self) -> None:
-        self.pad_requests = 0
-        self.timely_pads = 0
+        reset_fields(self)
 
 
 @dataclass
@@ -82,11 +77,6 @@ class SecureMemoryStats:
     pads: PadStats = field(default_factory=PadStats)
 
     def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.counter_fetches = 0
-        self.counter_writebacks = 0
-        self.counter_half_misses = 0
-        self.integrity_violations = 0
-        self.reencryption.reset()
-        self.pads.reset()
+        # Recurses into ``reencryption``/``pads`` in place, preserving any
+        # references callers hold to the nested stats objects.
+        reset_fields(self)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.memory.cache import Cache, Eviction
+from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -30,6 +31,10 @@ class CounterAccessOutcome:
 
 class CounterCache:
     """Counter cache keyed by counter-block index."""
+
+    #: optional observability hook; lookups become "counter" track instants
+    #: (the timing layer adds richer half-miss events on the same track)
+    tracer: Tracer | None = None
 
     def __init__(self, size_bytes: int = 32 * 1024, assoc: int = 8,
                  block_size: int = 64, region_base: int = 0):
@@ -46,11 +51,19 @@ class CounterCache:
         # blocks of any region placement map uniformly over the sets.
         return counter_block_index * self.block_size
 
-    def access(self, counter_block_index: int,
-               write: bool = False) -> CounterAccessOutcome:
-        """Look up a counter block; miss leaves the fill to the caller."""
+    def access(self, counter_block_index: int, write: bool = False,
+               now: float = 0.0) -> CounterAccessOutcome:
+        """Look up a counter block; miss leaves the fill to the caller.
+
+        ``now`` is purely observational — the timing layer passes the
+        current cycle so traced lookup events land on the right timestamp.
+        """
         hit = self.cache.access(self._cache_address(counter_block_index),
                                 write=write)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("counter", "lookup-hit" if hit else "lookup-miss",
+                           now, index=counter_block_index, write=write)
         return CounterAccessOutcome(hit=hit,
                                     counter_block_index=counter_block_index)
 

@@ -19,6 +19,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
+from repro.obs.metrics import reset_fields
 
 
 @dataclass
@@ -27,8 +28,7 @@ class GlobalCounterStats:
     overflows: int = 0
 
     def reset(self) -> None:
-        self.increments = 0
-        self.overflows = 0
+        reset_fields(self)
 
 
 class GlobalCounterScheme(CounterScheme):

@@ -17,6 +17,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
+from repro.obs.metrics import reset_fields
 
 
 @dataclass
@@ -28,9 +29,7 @@ class MonolithicStats:
     max_counter: int = 0
 
     def reset(self) -> None:
-        self.increments = 0
-        self.overflows = 0
-        self.max_counter = 0
+        reset_fields(self)
 
 
 class MonolithicCounterScheme(CounterScheme):

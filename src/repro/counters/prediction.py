@@ -27,6 +27,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
+from repro.obs.metrics import reset_fields
 
 DEFAULT_PREDICTION_DEPTH = 5
 
@@ -44,9 +45,7 @@ class PredictionStats:
         return self.correct / self.predictions if self.predictions else 0.0
 
     def reset(self) -> None:
-        self.predictions = 0
-        self.correct = 0
-        self.increments = 0
+        reset_fields(self)
 
 
 class CounterPredictionScheme(CounterScheme):

@@ -21,6 +21,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
+from repro.obs.metrics import reset_fields
 
 
 @dataclass
@@ -31,8 +32,7 @@ class SplitCounterStats:
     minor_overflows: int = 0
 
     def reset(self) -> None:
-        self.increments = 0
-        self.minor_overflows = 0
+        reset_fields(self)
 
 
 class SplitCounterScheme(CounterScheme):

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import reset_fields
+from repro.obs.tracer import Tracer
+
 
 @dataclass
 class EngineStats:
@@ -22,8 +25,7 @@ class EngineStats:
     stall_cycles: float = 0.0
 
     def reset(self) -> None:
-        self.operations = 0
-        self.stall_cycles = 0.0
+        reset_fields(self)
 
 
 class PipelinedEngine:
@@ -34,6 +36,10 @@ class PipelinedEngine:
     interval.  Multiple physical engines (``copies``) issue round-robin,
     which is how the two-AES-engine prediction configuration is modelled.
     """
+
+    #: optional observability hook: each issued operation becomes an
+    #: occupancy-window span on the "engine" track when a tracer records
+    tracer: Tracer | None = None
 
     def __init__(self, latency: float, stages: int, copies: int = 1,
                  name: str = "engine"):
@@ -55,6 +61,10 @@ class PipelinedEngine:
         self._next_issue[engine] = start + self.initiation_interval
         self.stats.operations += 1
         self.stats.stall_cycles += start - now
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span("engine", self.name, start, start + self.latency,
+                        copy=engine, queued=start - now)
         return start + self.latency
 
     def request_many(self, now: float, count: int) -> float:

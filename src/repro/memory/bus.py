@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import reset_fields
+from repro.obs.tracer import Tracer
+
 
 @dataclass
 class BusStats:
@@ -29,14 +32,15 @@ class BusStats:
     queue_cycles: float = 0.0
 
     def reset(self) -> None:
-        self.transactions = 0
-        self.bytes_moved = 0
-        self.busy_cycles = 0.0
-        self.queue_cycles = 0.0
+        reset_fields(self)
 
 
 class MemoryBus:
     """FCFS shared bus with per-byte transfer cost in core cycles."""
+
+    #: optional observability hook; a profiling run swaps in a recording
+    #: tracer so every transfer becomes a span on the "bus" track
+    tracer: Tracer | None = None
 
     def __init__(self, width_bits: int = 128, bus_mhz: float = 600.0,
                  core_mhz: float = 5000.0):
@@ -65,6 +69,10 @@ class MemoryBus:
         self.stats.bytes_moved += num_bytes
         self.stats.busy_cycles += occupancy
         self.stats.queue_cycles += start - now
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span("bus", "xfer", start, end, bytes=num_bytes,
+                        queued=start - now)
         return start, end
 
     def charge_background(self, num_bytes: int) -> float:

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.metrics import reset_fields
+
 
 def _is_pow2(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
@@ -60,9 +62,7 @@ class CacheStats:
         return 1.0 - self.hit_rate if self.accesses else 0.0
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.writebacks = 0
+        reset_fields(self)
 
 
 class Cache:

@@ -15,6 +15,7 @@ Merkle root) live elsewhere and are trusted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from repro.obs.metrics import reset_fields
 
 
 @dataclass
@@ -29,8 +30,7 @@ class DRAMStats:
         return self.reads + self.writes
 
     def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
+        reset_fields(self)
 
 
 class MainMemory:

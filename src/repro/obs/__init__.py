@@ -1,0 +1,69 @@
+"""Observability layer: structured tracing, unified metrics, attribution.
+
+The paper's claims are accounting claims — normalized IPC, timely-pad
+rates, the 0.3% re-encryption work ratio, the 5717-cycle mean page
+re-encryption — so this package gives the whole stack one way to see
+*where* a miss's cycles went:
+
+* :mod:`repro.obs.tracer` — a :class:`Tracer` protocol with a near-zero-
+  cost no-op default (:data:`NULL_TRACER`) and a :class:`RecordingTracer`
+  that captures typed span/instant events (bus transfers, engine
+  occupancy windows, counter hit/half-miss/miss, pad timeliness, Merkle
+  level fetch+verify, RSR re-encryption) stamped in simulated cycles.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` unifying the ad-hoc
+  stats dataclasses behind named counters/gauges/histograms with a single
+  ``snapshot()``/``reset()``; ``reset_fields`` derives reset behaviour
+  from ``dataclasses.fields()`` so newly added counters can never drift.
+* :mod:`repro.obs.attribution` — per-miss critical-path decomposition of
+  ``auth_done - issue`` into bus/DRAM/AES/GHASH/SHA/tree-walk/stall
+  components that provably sum to the observed latency.
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto-loadable) JSON and
+  flat-CSV exporters, wired into ``python -m repro profile`` and
+  ``repro.api.run(trace=...)``.
+"""
+
+from repro.obs.attribution import (
+    ATTRIBUTION_COMPONENTS,
+    AttributionError,
+    AttributionReport,
+    MissRecord,
+    PathTime,
+    build_report,
+)
+from repro.obs.export import (
+    to_chrome_trace,
+    to_csv,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    reset_fields,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer, TraceEvent
+
+__all__ = [
+    "ATTRIBUTION_COMPONENTS",
+    "AttributionError",
+    "AttributionReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MissRecord",
+    "NULL_TRACER",
+    "NullTracer",
+    "PathTime",
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "build_report",
+    "reset_fields",
+    "to_chrome_trace",
+    "to_csv",
+    "write_chrome_trace",
+    "write_csv",
+]

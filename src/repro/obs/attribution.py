@@ -1,0 +1,192 @@
+"""Per-miss cycle attribution along the timing model's critical path.
+
+Every L2 miss resolves through a DAG of dependent steps — counter fetch,
+keystream pads, the data transfer, the leaf MAC, missing Merkle levels —
+joined by ``max()``.  :class:`PathTime` threads through that computation:
+it carries a timestamp plus a per-component breakdown of how the
+timestamp was reached from the miss's issue cycle, and a ``max``-join
+adopts the breakdown of whichever operand is later.  The decomposition is
+therefore exact *by construction*: for every miss,
+
+    ``sum(parts.values()) == auth_done - issue``
+
+up to float rounding.  :class:`MissRecord.check` enforces the identity
+(the acceptance bar is 1% of the observed latency) and
+:class:`AttributionReport` aggregates records into the component totals
+``python -m repro profile`` prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Component buckets a miss's latency decomposes into.
+#:
+#: * ``bus_queue`` — waiting behind earlier bus transactions
+#: * ``bus``       — the demand transfer's own beats on the wire
+#: * ``dram``      — uncontended DRAM access time
+#: * ``aes``       — keystream/authentication-pad generation on the AES unit
+#: * ``ghash``     — GHASH chunk chain + final tag XOR (GCM auth)
+#: * ``sha``       — SHA-1 MAC latency (baseline auth schemes)
+#: * ``tree``      — fetch+verify of missing Merkle levels above the leaf
+#: * ``counter_wait`` — waiting on an in-flight counter fill (half-miss)
+#: * ``other``     — everything else on the path (the decrypt XOR cycle)
+ATTRIBUTION_COMPONENTS = (
+    "bus_queue",
+    "bus",
+    "dram",
+    "aes",
+    "ghash",
+    "sha",
+    "tree",
+    "counter_wait",
+    "other",
+)
+
+
+class AttributionError(AssertionError):
+    """The per-component breakdown failed to sum to the observed latency."""
+
+
+class PathTime:
+    """A timestamp plus the per-component account of how it was reached."""
+
+    __slots__ = ("t", "parts")
+
+    def __init__(self, t: float, parts: dict[str, float] | None = None):
+        self.t = t
+        self.parts: dict[str, float] = {} if parts is None else parts
+
+    def advance(self, component: str, until: float) -> float:
+        """Move the clock to ``until``, charging the gap to ``component``.
+
+        A target at or before the current time is a no-op — dependencies
+        that were already satisfied contribute nothing to the path.
+        """
+        if until > self.t:
+            self.parts[component] = (
+                self.parts.get(component, 0.0) + (until - self.t)
+            )
+            self.t = until
+        return self.t
+
+    def fork(self) -> "PathTime":
+        """Independent copy for a branch of the dependence DAG."""
+        return PathTime(self.t, dict(self.parts))
+
+    def adopt(self, other: "PathTime") -> None:
+        """Become ``other`` in place (callers hold references to us)."""
+        self.t = other.t
+        self.parts = other.parts
+
+    @staticmethod
+    def merge(*paths: "PathTime") -> "PathTime":
+        """``max()``-join: the latest path *is* the critical path."""
+        return max(paths, key=lambda p: p.t)
+
+    def total(self) -> float:
+        return sum(self.parts.values())
+
+    def __repr__(self) -> str:
+        return f"PathTime(t={self.t}, parts={self.parts})"
+
+
+@dataclass
+class MissRecord:
+    """Attribution of one L2 miss: where ``auth_done - issue`` went."""
+
+    address: int
+    issue: float
+    data_ready: float
+    auth_done: float
+    parts: dict[str, float] = field(default_factory=dict)
+    kind: str = "read"
+
+    @property
+    def latency(self) -> float:
+        return self.auth_done - self.issue
+
+    @property
+    def residual(self) -> float:
+        """Unattributed cycles; ~0 by construction."""
+        return self.latency - sum(self.parts.values())
+
+    @property
+    def residual_fraction(self) -> float:
+        if self.latency <= 0:
+            return 0.0
+        return abs(self.residual) / self.latency
+
+    def check(self, tolerance: float = 0.01) -> None:
+        """Assert the attribution identity within ``tolerance`` (relative)."""
+        bound = max(1e-6, tolerance * max(self.latency, 1.0))
+        if abs(self.residual) > bound:
+            raise AttributionError(
+                f"miss @{self.address:#x}: components sum to "
+                f"{sum(self.parts.values()):.3f} but observed latency is "
+                f"{self.latency:.3f} cycles (residual {self.residual:+.3f})"
+            )
+        unknown = set(self.parts) - set(ATTRIBUTION_COMPONENTS)
+        if unknown:
+            raise AttributionError(
+                f"miss @{self.address:#x}: unknown components {sorted(unknown)}"
+            )
+
+
+@dataclass
+class AttributionReport:
+    """Aggregate of many :class:`MissRecord`\\ s — the profile headline."""
+
+    misses: int = 0
+    total_latency: float = 0.0
+    components: dict[str, float] = field(default_factory=dict)
+    max_residual_fraction: float = 0.0
+    mean_latency: float = 0.0
+    max_latency: float = 0.0
+
+    def fractions(self) -> dict[str, float]:
+        """Each component's share of all attributed miss cycles."""
+        if self.total_latency <= 0:
+            return {k: 0.0 for k in self.components}
+        return {k: v / self.total_latency
+                for k, v in self.components.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "misses": self.misses,
+            "total_latency_cycles": self.total_latency,
+            "mean_latency_cycles": self.mean_latency,
+            "max_latency_cycles": self.max_latency,
+            "components_cycles": dict(self.components),
+            "components_fraction": self.fractions(),
+            "max_residual_fraction": self.max_residual_fraction,
+        }
+
+
+def build_report(records: Iterable[MissRecord],
+                 tolerance: float | None = 0.01) -> AttributionReport:
+    """Aggregate miss records; ``tolerance`` != None re-checks each one."""
+    report = AttributionReport(
+        components={name: 0.0 for name in ATTRIBUTION_COMPONENTS}
+    )
+    for record in records:
+        if tolerance is not None:
+            record.check(tolerance)
+        report.misses += 1
+        latency = record.latency
+        report.total_latency += latency
+        report.max_latency = max(report.max_latency, latency)
+        report.max_residual_fraction = max(
+            report.max_residual_fraction, record.residual_fraction
+        )
+        for component, cycles in record.parts.items():
+            report.components[component] = (
+                report.components.get(component, 0.0) + cycles
+            )
+    if report.misses:
+        report.mean_latency = report.total_latency / report.misses
+    if not math.isfinite(report.total_latency):  # defensive: corrupt input
+        raise AttributionError("non-finite total latency in report")
+    return report

@@ -1,0 +1,140 @@
+"""Trace exporters: Chrome-trace (Perfetto) JSON and flat CSV.
+
+The Chrome trace event format is the JSON-object flavour —
+``{"traceEvents": [...]}`` — with complete (``ph: "X"``) events for spans
+and ``ph: "i"`` for instants, which both ``chrome://tracing`` and
+Perfetto's trace processor load natively.  Simulated cycles map 1:1 onto
+trace microseconds (``displayTimeUnit`` pins the UI to that scale).
+
+Tracks: each event category becomes one named "thread" of a single
+process, so bus occupancy, AES/SHA engine windows, Merkle walks, RSR
+re-encryptions, and the per-miss spans stack into aligned swimlanes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.obs.tracer import RecordingTracer, TraceEvent
+
+#: Stable swimlane order for the known categories; unknown categories are
+#: appended after these in first-seen order.
+_TRACK_ORDER = (
+    "miss",
+    "bus",
+    "engine",
+    "counter",
+    "pad",
+    "tree",
+    "rsr",
+    "mem",
+    "merkle",
+)
+
+
+def _track_ids(events: Iterable[TraceEvent]) -> dict[str, int]:
+    tracks: dict[str, int] = {}
+    for cat in _TRACK_ORDER:
+        tracks[cat] = len(tracks) + 1
+    for event in events:
+        if event.cat not in tracks:
+            tracks[event.cat] = len(tracks) + 1
+    return tracks
+
+
+def to_chrome_trace(tracer: RecordingTracer, pid: int = 1) -> dict:
+    """Build the Chrome-trace JSON object for a recorded run."""
+    tracks = _track_ids(tracer.events)
+    trace_events: list[dict] = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "repro timing model (1 cycle = 1 us)"},
+        },
+    ]
+    for cat, tid in tracks.items():
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": cat},
+        })
+    for event in tracer.events:
+        tid = tracks[event.cat]
+        entry: dict = {
+            "name": event.name,
+            "cat": event.cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": event.begin,
+        }
+        if event.is_span:
+            entry["ph"] = "X"
+            entry["dur"] = event.duration
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        if event.args:
+            entry["args"] = dict(event.args)
+        trace_events.append(entry)
+    for record in tracer.misses:
+        trace_events.append({
+            "name": f"{record.kind}@{record.address:#x}",
+            "cat": "attribution",
+            "pid": pid,
+            "tid": tracks.get("miss", 1),
+            "ph": "X",
+            "ts": record.issue,
+            "dur": record.latency,
+            "args": {
+                "data_ready": record.data_ready,
+                "auth_done": record.auth_done,
+                **{k: round(v, 3) for k, v in record.parts.items()},
+            },
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: RecordingTracer, path: str) -> str:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer), handle)
+    return path
+
+
+_CSV_FIELDS = ("type", "cat", "name", "begin", "end", "duration", "args")
+
+
+def to_csv(tracer: RecordingTracer) -> str:
+    """Flat CSV of every event (one row each; args as a JSON cell)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_FIELDS)
+    for event in tracer.events:
+        writer.writerow([
+            "span" if event.is_span else "instant",
+            event.cat,
+            event.name,
+            event.begin,
+            event.end if event.end is not None else "",
+            event.duration if event.is_span else "",
+            json.dumps(event.args, sort_keys=True) if event.args else "",
+        ])
+    for record in tracer.misses:
+        writer.writerow([
+            "miss",
+            "attribution",
+            f"{record.kind}@{record.address:#x}",
+            record.issue,
+            record.auth_done,
+            record.latency,
+            json.dumps(record.parts, sort_keys=True),
+        ])
+    return buffer.getvalue()
+
+
+def write_csv(tracer: RecordingTracer, path: str) -> str:
+    """Serialize :func:`to_csv` to ``path``; returns the path."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(tracer))
+    return path

@@ -1,0 +1,235 @@
+"""Unified metrics: named counters/gauges/histograms over the stats objects.
+
+The repo accumulated one hand-maintained stats dataclass per subsystem
+(:class:`~repro.core.stats.SecureMemoryStats`, cache stats, bus stats,
+engine stats, Merkle stats), each with a hand-listed ``reset()`` — a
+latent bug class where a newly added field silently survives
+``Experiment`` reuse across runs.  Two fixes live here:
+
+* :func:`reset_fields` derives reset behaviour from
+  ``dataclasses.fields()``: every field returns to its declared
+  default/default_factory value, nested stats dataclasses reset in place
+  (so held references stay valid).  The per-class ``reset()`` methods now
+  delegate here, so a new counter can never be forgotten.
+* :class:`MetricsRegistry` registers those dataclasses (plus ad-hoc
+  counters/gauges/histograms) under dotted names with one
+  ``snapshot()``/``reset()``.  Registered dataclass *properties*
+  (``hit_rate``, ``timely_rate``, ...) appear in snapshots as derived
+  gauges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_left
+from typing import Any, Callable, Iterator
+
+
+def reset_fields(obj: Any) -> None:
+    """Reset a stats dataclass to its declared per-field defaults.
+
+    Nested dataclass instances are reset recursively *in place* — callers
+    commonly hold references to them (``reenc = stats.reencryption``) that
+    must stay live across a reset.  Fields without a default or factory
+    (none of our stats have these) are left untouched.
+    """
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"reset_fields needs a dataclass instance, got {obj!r}")
+    for f in dataclasses.fields(obj):
+        current = getattr(obj, f.name)
+        if dataclasses.is_dataclass(current) and not isinstance(current, type):
+            reset_fields(current)
+        elif f.default is not dataclasses.MISSING:
+            setattr(obj, f.name, f.default)
+        elif f.default_factory is not dataclasses.MISSING:
+            setattr(obj, f.name, f.default_factory())
+
+
+def _walk_values(prefix: str, obj: Any) -> Iterator[tuple[str, Any]]:
+    """Yield (dotted_name, value) for fields and properties, recursively."""
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        name = f"{prefix}.{f.name}" if prefix else f.name
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            yield from _walk_values(name, value)
+        else:
+            yield name, value
+    for attr, descriptor in vars(type(obj)).items():
+        if isinstance(descriptor, property) and not attr.startswith("_"):
+            name = f"{prefix}.{attr}" if prefix else attr
+            yield name, getattr(obj, attr)
+
+
+class Counter:
+    """Monotonic (between resets) numeric instrument."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value: either set directly or computed on read."""
+
+    __slots__ = ("value", "fn")
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self.fn = fn
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ValueError("cannot set() a derived gauge")
+        self.value = value
+
+    def read(self) -> float:
+        return self.fn() if self.fn is not None else self.value
+
+    def reset(self) -> None:
+        if self.fn is None:
+            self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bound histogram with count/sum/min/max summary.
+
+    Default bounds are powers of two up to 2^20 cycles — wide enough for
+    any miss latency this machine model can produce.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        self.bounds: tuple[float, ...] = (
+            bounds if bounds is not None
+            else tuple(float(2 ** i) for i in range(21))
+        )
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        # This runs once per L2 miss even with tracing disabled, so the
+        # bucket search is binary, not a linear scan over the bounds.
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class MetricsRegistry:
+    """Named instruments plus auto-registered stats dataclasses.
+
+    ``register(prefix, stats_obj)`` exposes every dataclass field (and
+    nested dataclass, and public property) under ``prefix.field`` in
+    :meth:`snapshot`, and hooks the object into :meth:`reset` via
+    :func:`reset_fields` — one call covers subsystems that don't even
+    exist yet, which is what retires the hand-listed-reset bug class.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._objects: list[tuple[str, Any]] = []
+
+    # -- instruments -------------------------------------------------------
+
+    def _add(self, name: str, instrument):
+        if name in self._instruments:
+            raise ValueError(f"instrument {name!r} already registered")
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        existing = self._instruments.get(name)
+        if isinstance(existing, Counter):
+            return existing
+        return self._add(name, Counter())
+
+    def gauge(self, name: str,
+              fn: Callable[[], float] | None = None) -> Gauge:
+        existing = self._instruments.get(name)
+        if isinstance(existing, Gauge) and fn is None:
+            return existing
+        return self._add(name, Gauge(fn))
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] | None = None) -> Histogram:
+        existing = self._instruments.get(name)
+        if isinstance(existing, Histogram):
+            return existing
+        return self._add(name, Histogram(bounds))
+
+    # -- stats-object auto-registration ------------------------------------
+
+    def register(self, prefix: str, obj: Any) -> None:
+        """Expose a stats dataclass under ``prefix.*`` and hook its reset."""
+        if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+            raise TypeError(
+                f"register({prefix!r}) needs a dataclass instance, got {obj!r}"
+            )
+        if any(existing is obj for _, existing in self._objects):
+            return  # idempotent: one object, one reset
+        self._objects.append((prefix, obj))
+
+    def registered_objects(self) -> list[tuple[str, Any]]:
+        return list(self._objects)
+
+    # -- the single snapshot/reset -----------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metric values by dotted name (JSON-ready scalars mostly)."""
+        out: dict[str, Any] = {}
+        for prefix, obj in self._objects:
+            for name, value in _walk_values(prefix, obj):
+                out[name] = value
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name] = instrument.read()
+            else:
+                for key, value in instrument.summary().items():
+                    out[f"{name}.{key}"] = value
+        return out
+
+    def reset(self) -> None:
+        """Reset every registered stats object and instrument."""
+        for _, obj in self._objects:
+            if hasattr(obj, "reset"):
+                obj.reset()      # honour custom reset hooks if present
+            else:
+                reset_fields(obj)
+        for instrument in self._instruments.values():
+            instrument.reset()

@@ -1,0 +1,119 @@
+"""Typed event tracing with a near-zero-cost no-op default.
+
+Every timing-layer component (bus, engines, counter cache, Merkle walk,
+RSRs, the miss path itself) takes or exposes a ``tracer``; the default is
+:data:`NULL_TRACER`, whose ``enabled`` flag is ``False`` so hot paths pay
+one attribute check and skip all event construction.  Swapping in a
+:class:`RecordingTracer` (``python -m repro profile`` or
+``api.run(trace=...)`` do this) captures the full event stream for the
+Chrome-trace/CSV exporters and the cycle-attribution report.
+
+Timestamps are *simulated processor cycles* — the exporters map one cycle
+to one microsecond of trace time so Perfetto renders them 1:1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.attribution import MissRecord
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event; ``end`` is ``None`` for instant events."""
+
+    cat: str            # track: "bus", "engine", "counter", "tree", "rsr", ...
+    name: str
+    begin: float
+    end: float | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.begin) if self.end is not None else 0.0
+
+
+class Tracer:
+    """No-op base tracer; also the interface recording tracers implement.
+
+    ``enabled`` is the single flag instrumented code checks before doing
+    any per-event work, so the disabled path costs one attribute load.
+    """
+
+    enabled: bool = False
+
+    def span(self, cat: str, name: str, begin: float, end: float,
+             **args: Any) -> None:
+        """Record a duration event on track ``cat``."""
+
+    def instant(self, cat: str, name: str, ts: float, **args: Any) -> None:
+        """Record a point event on track ``cat``."""
+
+    def miss(self, record: "MissRecord") -> None:
+        """Record one L2 miss's cycle-attribution breakdown."""
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (warmup boundary)."""
+
+
+class NullTracer(Tracer):
+    """The default tracer: records nothing, costs (almost) nothing."""
+
+
+#: Shared disabled tracer; instrumented classes default to this.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Tracer that keeps every event and miss record in memory.
+
+    ``strict`` (the default) makes :meth:`miss` verify the attribution
+    identity — the per-component breakdown must sum to
+    ``auth_done - issue`` — and raise
+    :class:`repro.obs.attribution.AttributionError` on any violation, so a
+    broken decomposition fails the run instead of skewing a report.
+    """
+
+    enabled = True
+
+    def __init__(self, strict: bool = True, tolerance: float = 0.01):
+        self.strict = strict
+        self.tolerance = tolerance
+        self.events: list[TraceEvent] = []
+        self.misses: list["MissRecord"] = []
+
+    def span(self, cat: str, name: str, begin: float, end: float,
+             **args: Any) -> None:
+        self.events.append(TraceEvent(cat, name, begin, end, args))
+
+    def instant(self, cat: str, name: str, ts: float, **args: Any) -> None:
+        self.events.append(TraceEvent(cat, name, ts, None, args))
+
+    def miss(self, record: "MissRecord") -> None:
+        if self.strict:
+            record.check(self.tolerance)
+        self.misses.append(record)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.misses.clear()
+
+    # -- query helpers (tests and reports) ---------------------------------
+
+    def spans(self, cat: str | None = None) -> list[TraceEvent]:
+        return [e for e in self.events
+                if e.is_span and (cat is None or e.cat == cat)]
+
+    def instants(self, cat: str | None = None) -> list[TraceEvent]:
+        return [e for e in self.events
+                if not e.is_span and (cat is None or e.cat == cat)]
+
+    def __len__(self) -> int:
+        return len(self.events)

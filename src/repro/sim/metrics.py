@@ -6,10 +6,20 @@ encryption or authentication.  These helpers run the baseline and scheme
 configurations over identical traces and compute the ratios and the
 averages the figures report (averages in the paper are over all 21
 benchmarks even when only a subset is plotted individually).
+
+Aggregation semantics:
+
+* A zero-IPC baseline makes ``normalized_ipc`` *undefined*, not zero —
+  the cell reports ``nan`` so a broken baseline cannot masquerade as a
+  "scheme is infinitely slow" data point and silently drag averages down.
+* ``geometric_mean`` works in the log domain so a 21-benchmark product of
+  small ratios cannot underflow to 0.0 (the naive product of 21 values
+  around 1e-20 underflows ``float``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.config import SecureMemoryConfig, baseline_config
@@ -28,13 +38,24 @@ class NormalizedResult:
 
     @property
     def normalized_ipc(self) -> float:
+        # A zero baseline IPC means the ratio is undefined; report nan
+        # rather than 0.0 so the cell is visibly invalid instead of
+        # looking like a catastrophic slowdown.
         if self.baseline.ipc == 0:
-            return 0.0
+            return float("nan")
         return self.result.ipc / self.baseline.ipc
 
     @property
+    def valid(self) -> bool:
+        """Whether this cell carries a defined normalized IPC."""
+        return not math.isnan(self.normalized_ipc)
+
+    @property
     def overhead(self) -> float:
-        """IPC overhead as a fraction (paper: '5% overhead' = 0.95 nIPC)."""
+        """IPC overhead as a fraction (paper: '5% overhead' = 0.95 nIPC).
+
+        Propagates ``nan`` from an undefined ``normalized_ipc``.
+        """
         return 1.0 - self.normalized_ipc
 
 
@@ -50,17 +71,42 @@ def run_normalized(config: SecureMemoryConfig, trace: Trace,
                             baseline=baseline, result=result)
 
 
-def geometric_mean(values: list[float]) -> float:
-    """Geometric mean (well-suited to IPC ratios)."""
-    if not values:
-        return 0.0
-    product = 1.0
+def _clean(values: list[float], skip_invalid: bool,
+           allow_negative: bool) -> list[float]:
+    """Shared validation for the mean helpers."""
+    out = []
     for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
+        if math.isnan(v):
+            if skip_invalid:
+                continue
+            raise ValueError("nan in mean input (invalid cell); "
+                             "pass skip_invalid=True to drop such cells")
+        if not allow_negative and v < 0:
+            raise ValueError(f"negative value {v!r} has no geometric mean")
+        out.append(v)
+    return out
 
 
-def arithmetic_mean(values: list[float]) -> float:
-    if not values:
+def geometric_mean(values: list[float], skip_invalid: bool = False) -> float:
+    """Geometric mean (well-suited to IPC ratios), computed in log domain.
+
+    * ``[]`` (or all-skipped input) -> 0.0
+    * any value == 0 -> 0.0 (a zero ratio annihilates the product)
+    * any negative value -> ``ValueError`` (undefined for real outputs)
+    * any nan -> ``ValueError`` unless ``skip_invalid=True``, which drops
+      nan cells (e.g. `NormalizedResult` cells with a broken baseline)
+    """
+    cleaned = _clean(values, skip_invalid, allow_negative=False)
+    if not cleaned:
         return 0.0
-    return sum(values) / len(values)
+    if any(v == 0 for v in cleaned):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
+
+
+def arithmetic_mean(values: list[float], skip_invalid: bool = False) -> float:
+    """Arithmetic mean; nan handling matches :func:`geometric_mean`."""
+    cleaned = _clean(values, skip_invalid, allow_negative=True)
+    if not cleaned:
+        return 0.0
+    return sum(cleaned) / len(cleaned)

@@ -37,6 +37,7 @@ from repro.core.config import (
     SecureMemoryConfig,
 )
 from repro.memory.cache import Cache
+from repro.obs.tracer import Tracer
 from repro.sim.timing_memory import TimingSecureMemory
 from repro.workloads.trace import Trace
 
@@ -83,7 +84,8 @@ class Processor:
                  l1_size: int = DEFAULT_L1_SIZE,
                  l1_assoc: int = DEFAULT_L1_ASSOC,
                  l2_size: int = DEFAULT_L2_SIZE,
-                 l2_assoc: int = DEFAULT_L2_ASSOC):
+                 l2_assoc: int = DEFAULT_L2_ASSOC,
+                 tracer: Tracer | None = None):
         self.config = config
         self.issue_width = issue_width
         self.rob_insns = rob_insns
@@ -91,7 +93,12 @@ class Processor:
         block = config.block_size
         self.l1 = Cache(l1_size, l1_assoc, block, name="l1d")
         self.l2 = Cache(l2_size, l2_assoc, block, name="l2")
-        self.memory = TimingSecureMemory(config, l2=self.l2)
+        self.memory = TimingSecureMemory(config, l2=self.l2, tracer=tracer)
+        # Single registry spanning the whole hierarchy: the memory system
+        # already registered everything it owns; add the core-side caches.
+        self.metrics = self.memory.metrics
+        self.metrics.register("l1", self.l1.stats)
+        self.metrics.register("l2", self.l2.stats)
 
     def run(self, trace: Trace, warmup_refs: int = 0) -> SimResult:
         """Execute a trace to completion and return timing statistics.
@@ -125,19 +132,10 @@ class Processor:
                 cycle0 = cycle
                 insns0 = insns
                 writebacks = 0
-                l1.stats.reset()
-                l2.stats.reset()
-                memory.stats.reset()
-                memory.bus.stats.reset()
-                memory.aes.stats.reset()
-                memory.sha.stats.reset()
-                if memory.counter_cache is not None:
-                    memory.counter_cache.stats.reset()
-                if memory.node_cache is not None:
-                    memory.node_cache.stats.reset()
-                if memory.scheme is not None and hasattr(
-                        memory.scheme, "stats"):
-                    memory.scheme.stats.reset()
+                # The registry knows every stats object in the hierarchy, so
+                # new stat sources cannot silently escape the warmup reset.
+                self.metrics.reset()
+                memory.tracer.clear()
             gap = gaps[i]
             insns += gap + 1
             cycle += (gap + 1) * cpi
@@ -196,6 +194,8 @@ class Processor:
 
 
 def simulate(config: SecureMemoryConfig, trace: Trace,
-             warmup_refs: int = 0, **kwargs) -> SimResult:
+             warmup_refs: int = 0, tracer: Tracer | None = None,
+             **kwargs) -> SimResult:
     """One-shot convenience: build a processor and run a trace."""
-    return Processor(config, **kwargs).run(trace, warmup_refs=warmup_refs)
+    return Processor(config, tracer=tracer, **kwargs).run(
+        trace, warmup_refs=warmup_refs)

@@ -28,6 +28,7 @@ engine latencies.  Timing paths implemented:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.auth.codes import TreeGeometry, build_geometry
@@ -49,6 +50,13 @@ from repro.engines.ghash_unit import GHASHUnit
 from repro.engines.sha_engine import SHA1Engine
 from repro.memory.bus import MemoryBus
 from repro.memory.cache import Cache
+from repro.obs.attribution import MissRecord, PathTime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: attribution labels for a Merkle-node transfer: queue, wire, and DRAM
+#: time of a tree fetch all accrue to the tree-walk bucket
+_TREE_LABELS = ("tree", "tree", "tree")
 
 
 @dataclass
@@ -63,8 +71,9 @@ class TimingSecureMemory:
     """Latency/occupancy model of the secure memory path below the L2."""
 
     def __init__(self, config: SecureMemoryConfig, l2: Cache | None = None,
-                 bus: MemoryBus | None = None):
+                 bus: MemoryBus | None = None, tracer: Tracer | None = None):
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.block_size = config.block_size
         self._chunks = self.block_size // 16
         # An injected bus (e.g. repro.testing's AdversarialBus) lets a
@@ -126,6 +135,39 @@ class TimingSecureMemory:
         self._counter_inflight: dict[int, float] = {}
         self._num_data_blocks = config.memory_size // self.block_size
 
+        # Unified metrics: every stats dataclass below the L2 registers
+        # here, so ``metrics.snapshot()`` sees them all under dotted names
+        # and ``reset_stats()`` can never miss a newly added counter.
+        self.metrics = MetricsRegistry()
+        self.metrics.register("mem", self.stats)
+        self.metrics.register("bus", self.bus.stats)
+        self.metrics.register("aes", self.aes.stats)
+        self.metrics.register("sha", self.sha.stats)
+        if self.counter_cache is not None:
+            self.metrics.register("counter_cache", self.counter_cache.stats)
+        if self.node_cache is not None and l2 is None:
+            # With an injected L2 the node cache *is* the L2; the processor
+            # registers it under "l2" instead.
+            self.metrics.register("node_cache", self.node_cache.stats)
+        scheme_stats = getattr(self.scheme, "stats", None)
+        if dataclasses.is_dataclass(scheme_stats):
+            self.metrics.register("scheme", scheme_stats)
+        self._lat_hist = self.metrics.histogram("miss.auth_latency")
+
+        # Fan the tracer out to the shared resources so bus transfers and
+        # engine occupancy windows land on their own trace tracks.
+        if self.tracer.enabled:
+            self.bus.tracer = self.tracer
+            self.aes.tracer = self.tracer
+            self.sha.tracer = self.tracer
+            if self.counter_cache is not None:
+                self.counter_cache.tracer = self.tracer
+            self.rsr_file.tracer = self.tracer
+
+    def reset_stats(self) -> None:
+        """Zero every registered statistic (warmup/measurement boundary)."""
+        self.metrics.reset()
+
     # -- low-level transfers -------------------------------------------------
     #
     # All bus and engine slots are reserved at the *initiation* time of the
@@ -137,10 +179,23 @@ class TimingSecureMemory:
     # FCFS resource would block every later request behind work that has
     # not logically started yet.
 
-    def _bus_read(self, now: float, num_bytes: int) -> float:
-        """Issue a read transaction; returns data-arrival time."""
+    def _bus_read(self, now: float, num_bytes: int,
+                  path: PathTime | None = None,
+                  labels: tuple[str, str, str] = ("bus_queue", "bus", "dram"),
+                  ) -> float:
+        """Issue a read transaction; returns data-arrival time.
+
+        When attributing, the queueing delay, wire occupancy, and DRAM
+        access accrue to ``labels`` (tree fetches relabel all three to the
+        tree-walk bucket).
+        """
         start, end = self.bus.schedule(now, num_bytes)
-        return end + self.mem_latency
+        arrive = end + self.mem_latency
+        if path is not None:
+            path.advance(labels[0], start)
+            path.advance(labels[1], end)
+            path.advance(labels[2], arrive)
+        return arrive
 
     def _bus_write(self, now: float, num_bytes: int) -> float:
         """Issue a posted write; returns bus-release time."""
@@ -164,7 +219,8 @@ class TimingSecureMemory:
     # -- counter resolution --------------------------------------------------
 
     def _resolve_counter(self, now: float, address: int,
-                         for_write: bool) -> float:
+                         for_write: bool,
+                         path: PathTime | None = None) -> float:
         """Bring the block's counter on-chip; returns its ready time.
 
         Charges bus traffic for counter-cache misses, write-backs for dirty
@@ -174,21 +230,36 @@ class TimingSecureMemory:
         without new traffic.
         """
         assert self.counter_cache is not None
+        tracer = self.tracer
         index = self.scheme.counter_block_address(address)
-        outcome = self.counter_cache.access(index, write=for_write)
+        outcome = self.counter_cache.access(index, write=for_write, now=now)
         inflight = self._counter_inflight.get(index)
         if outcome.hit:
             if inflight is not None and inflight > now:
                 # Half-miss: the line is allocated but its fill is still in
                 # flight; wait for the outstanding transfer, no new traffic.
                 self.stats.counter_half_misses += 1
+                if tracer.enabled:
+                    tracer.instant("counter", "resolve-half-miss", now,
+                                   index=index)
+                if path is not None:
+                    path.advance("counter_wait", inflight)
                 return inflight
+            if tracer.enabled:
+                tracer.instant("counter", "resolve-hit", now, index=index)
             return now
         if inflight is not None and inflight > now:
             self.stats.counter_half_misses += 1
+            if tracer.enabled:
+                tracer.instant("counter", "resolve-half-miss", now,
+                               index=index)
+            if path is not None:
+                path.advance("counter_wait", inflight)
             return inflight
         self.stats.counter_fetches += 1
-        arrive = self._bus_read(now, self.block_size)
+        if tracer.enabled:
+            tracer.instant("counter", "resolve-miss", now, index=index)
+        arrive = self._bus_read(now, self.block_size, path=path)
         self._counter_inflight[index] = arrive
         eviction = self.counter_cache.fill(index, dirty=False)
         if eviction is not None and eviction.dirty:
@@ -210,19 +281,36 @@ class TimingSecureMemory:
     # -- MAC timing helpers ----------------------------------------------------
 
     def _leaf_mac_done(self, fetch_issue: float, arrive: float,
-                       counter_ready: float) -> float:
+                       counter_ready: float, path: PathTime | None = None,
+                       tree: bool = False) -> float:
         """Completion time of one block's MAC check.
 
         GCM: the authentication pad is requested as soon as the counter is
         known (overlapping the fetch); GHASH runs as ciphertext arrives and
         the final XOR waits for the pad.  SHA-1: the whole MAC latency
         starts only once the block has arrived.
+
+        ``path``, when given, must stand at ``arrive``; it is advanced to
+        the MAC completion with the GHASH/AES (or SHA) segments charged to
+        their buckets — or wholesale to the tree-walk bucket for node MACs.
         """
         if self.config.auth is AuthMode.GCM:
             engine_done = self.aes.request(fetch_issue)
             pad_ready = max(engine_done, counter_ready + self.aes.latency)
-            return self.ghash.hash_block(arrive, pad_ready, self._chunks)
-        return self._sha_mac(fetch_issue, arrive)
+            done = self.ghash.hash_block(arrive, pad_ready, self._chunks)
+            if path is not None:
+                ghash_done = (arrive
+                              + self._chunks * self.ghash.cycles_per_chunk)
+                path.advance("tree" if tree else "ghash",
+                             min(ghash_done, done))
+                path.advance("tree" if tree else "aes",
+                             done - self.ghash.final_xor_cycles)
+                path.advance("tree" if tree else "ghash", done)
+            return done
+        done = self._sha_mac(fetch_issue, arrive)
+        if path is not None:
+            path.advance("tree" if tree else "sha", done)
+        return done
 
     def _update_parent(self, now: float) -> None:
         """Charge the work of installing a new MAC into a parent node.
@@ -240,16 +328,22 @@ class TimingSecureMemory:
             self.sha.request(now)
 
     def _verify_chain(self, now: float, leaf_index: int, data_arrive: float,
-                      counter_ready: float) -> float:
+                      counter_ready: float,
+                      path: PathTime | None = None) -> float:
         """Fetch + verify all missing tree levels above a leaf.
 
         Returns the cycle at which the leaf's authentication chain is
         complete.  Parallel mode (section 3) issues every missing level's
         fetch immediately and authenticates codes as they arrive; sequential
         mode starts each level's fetch only after the level above verified.
+
+        ``path``, when given, must stand at ``data_arrive``; it is advanced
+        in place to the chain completion, node-fetch work charged to the
+        tree-walk bucket.
         """
         assert self.geometry is not None and self.node_cache is not None
         geometry = self.geometry
+        tracer = self.tracer
         missing: list[int] = []  # node-cache addresses, leaf-side first
         level, index = 1, geometry.parent_index(leaf_index)
         while level <= geometry.depth:
@@ -262,27 +356,48 @@ class TimingSecureMemory:
             level += 1
             index = geometry.parent_index(index)
 
-        leaf_done = self._leaf_mac_done(now, data_arrive, counter_ready)
+        leaf_done = self._leaf_mac_done(now, data_arrive, counter_ready,
+                                        path=path)
         if not missing:
             return leaf_done
 
         auth_done = leaf_done
         if self.config.parallel_auth:
             # All fetches issued now; pads (GCM) also requested now.
+            node_paths: list[PathTime] = []
             for node_address in missing:
-                arrive = self._bus_read(now, self.block_size)
-                done = self._leaf_mac_done(now, arrive, now)
+                node_path = PathTime(now) if path is not None else None
+                arrive = self._bus_read(now, self.block_size,
+                                        path=node_path, labels=_TREE_LABELS)
+                done = self._leaf_mac_done(now, arrive, now, path=node_path,
+                                           tree=True)
+                if tracer.enabled:
+                    tracer.span("tree", "level-fetch+verify", now, done,
+                                node=node_address)
                 auth_done = max(auth_done, done)
+                if node_path is not None:
+                    node_paths.append(node_path)
                 self._fill_node(node_address, now)
+            if path is not None:
+                path.adopt(PathTime.merge(path, *node_paths))
         else:
             # Top-down: the chain's trust must reach each level before the
             # next fetch begins.
             t = now
+            chain_path = PathTime(now) if path is not None else None
             for node_address in reversed(missing):
-                arrive = self._bus_read(t, self.block_size)
-                t = self._leaf_mac_done(t, arrive, t)
+                level_start = t
+                arrive = self._bus_read(t, self.block_size,
+                                        path=chain_path, labels=_TREE_LABELS)
+                t = self._leaf_mac_done(t, arrive, t, path=chain_path,
+                                        tree=True)
+                if tracer.enabled:
+                    tracer.span("tree", "level-fetch+verify", level_start, t,
+                                node=node_address)
                 self._fill_node(node_address, t)
             auth_done = max(leaf_done, t)
+            if path is not None:
+                path.adopt(PathTime.merge(path, chain_path))
         return auth_done
 
     def _fill_node(self, node_address: int, now: float) -> None:
@@ -318,34 +433,66 @@ class TimingSecureMemory:
         mode = self.config.encryption
         counter_ready = now
         transfer_bytes = self.block_size
+        tracer = self.tracer
+        recording = tracer.enabled
 
         if isinstance(self.scheme, CounterPredictionScheme):
             return self._read_miss_prediction(now, address)
+        counter_path = PathTime(now) if recording else None
         if self.counter_cache is not None:
             counter_ready = self._resolve_counter(now, address,
-                                                  for_write=False)
+                                                  for_write=False,
+                                                  path=counter_path)
 
         pad_done = None
+        pad_path = None
         if mode is EncryptionMode.COUNTER:
             pad_done = self._aes_pads(now, counter_ready, self._chunks)
+            if recording:
+                pad_path = counter_path.fork()
+                pad_path.advance("aes", pad_done)
 
-        arrive = self._bus_read(now, transfer_bytes)
+        arrive_path = PathTime(now) if recording else None
+        arrive = self._bus_read(now, transfer_bytes, path=arrive_path)
 
         if mode is EncryptionMode.NONE:
             data_ready = arrive
+            data_path = arrive_path
         elif mode is EncryptionMode.DIRECT:
             data_ready = self._aes_pads(now, arrive, self._chunks)
+            if recording:
+                data_path = arrive_path.fork()
+                data_path.advance("aes", data_ready)
         else:
             self.stats.pads.pad_requests += 1
-            if pad_done <= arrive:
+            timely = pad_done <= arrive
+            if timely:
                 self.stats.pads.timely_pads += 1
             data_ready = max(arrive, pad_done) + 1  # XOR
+            if recording:
+                tracer.instant("pad", "timely" if timely else "late", arrive,
+                               address=address, pad_done=pad_done)
+                data_path = PathTime.merge(arrive_path, pad_path).fork()
+                data_path.advance("other", data_ready)
 
         auth_done = data_ready
         if self.node_cache is not None:
             leaf = address // self.block_size
-            chain_done = self._verify_chain(now, leaf, arrive, counter_ready)
+            chain_path = arrive_path.fork() if recording else None
+            chain_done = self._verify_chain(now, leaf, arrive, counter_ready,
+                                            path=chain_path)
             auth_done = max(data_ready, chain_done)
+        self._lat_hist.observe(auth_done - now)
+        if recording:
+            auth_path = data_path
+            if self.node_cache is not None:
+                auth_path = PathTime.merge(data_path, chain_path)
+            tracer.miss(MissRecord(address=address, issue=now,
+                                   data_ready=data_ready,
+                                   auth_done=auth_done,
+                                   parts=auth_path.parts))
+            tracer.span("miss", f"read@{address:#x}", now, auth_done,
+                        data_ready=data_ready)
         return MissTiming(data_ready=data_ready, auth_done=auth_done)
 
     def read_misses(self, now: float, addresses: list[int]) -> list[MissTiming]:
@@ -405,12 +552,15 @@ class TimingSecureMemory:
         the counter arrives.
         """
         scheme = self.scheme
+        tracer = self.tracer
+        recording = tracer.enabled
         correct, candidates = scheme.predict(address)
         # Precompute pads for every candidate; remember each completion.
         completions = []
         for _ in candidates:
             completions.append(self.aes.request_many(now, self._chunks))
-        arrive = self._bus_read(now, self.block_size + 8)
+        arrive_path = PathTime(now) if recording else None
+        arrive = self._bus_read(now, self.block_size + 8, path=arrive_path)
         self.stats.pads.pad_requests += 1
         if correct:
             actual = scheme.counter_for_block(address)
@@ -418,17 +568,44 @@ class TimingSecureMemory:
             # base may have resynced on a miss; guard the index range
             position = min(max(actual - base, 0), len(completions) - 1)
             pad_done = completions[position]
-            if pad_done <= arrive:
+            timely = pad_done <= arrive
+            if timely:
                 self.stats.pads.timely_pads += 1
             data_ready = max(arrive, pad_done) + 1
+            if recording:
+                tracer.instant("pad", "timely" if timely else "late", arrive,
+                               address=address, pad_done=pad_done)
+                pad_path = PathTime(now)
+                pad_path.advance("aes", pad_done)
+                data_path = PathTime.merge(arrive_path, pad_path).fork()
+                data_path.advance("other", data_ready)
         else:
             pad_done = self._aes_pads(now, arrive, self._chunks)
             data_ready = pad_done + 1
+            if recording:
+                tracer.instant("pad", "mispredict", arrive, address=address)
+                data_path = arrive_path.fork()
+                data_path.advance("aes", pad_done)
+                data_path.advance("other", data_ready)
         auth_done = data_ready
         if self.node_cache is not None:
             leaf = address // self.block_size
-            chain_done = self._verify_chain(now, leaf, arrive, now)
+            chain_path = arrive_path.fork() if recording else None
+            chain_done = self._verify_chain(now, leaf, arrive, now,
+                                            path=chain_path)
             auth_done = max(data_ready, chain_done)
+        self._lat_hist.observe(auth_done - now)
+        if recording:
+            auth_path = data_path
+            if self.node_cache is not None:
+                auth_path = PathTime.merge(data_path, chain_path)
+            tracer.miss(MissRecord(address=address, issue=now,
+                                   data_ready=data_ready,
+                                   auth_done=auth_done,
+                                   parts=auth_path.parts,
+                                   kind="prediction"))
+            tracer.span("miss", f"pred@{address:#x}", now, auth_done,
+                        data_ready=data_ready)
         return MissTiming(data_ready=data_ready, auth_done=auth_done)
 
     # -- write path ----------------------------------------------------------
@@ -467,6 +644,9 @@ class TimingSecureMemory:
                 # Paper methodology: assumed instantaneous, zero traffic;
                 # occurrences are counted and reported above the bars.
                 self.stats.reencryption.full_reencryptions += 1
+                if self.tracer.enabled:
+                    self.tracer.instant("rsr", "full-reencryption", now,
+                                        address=address)
                 self.scheme.reset_all_counters()
                 self.scheme.set_counter(address, 1)
                 counter = 1
@@ -559,6 +739,11 @@ class TimingSecureMemory:
         stats.max_concurrent_rsrs = max(stats.max_concurrent_rsrs,
                                         self.rsr_file.active_count)
         stats.total_page_cycles += t - start
+        if self.tracer.enabled:
+            self.tracer.span("rsr", f"page-{page_index}", start, t,
+                             page=page_index,
+                             stalled_until=stall_until,
+                             active_rsrs=self.rsr_file.active_count)
         if not self.config.rsr_overlap:
             # Ablation: without the RSR overlap machinery the write-back
             # (and the core behind it) stalls for the whole re-encryption.

@@ -1,0 +1,104 @@
+"""Reset-field drift: every stats dataclass resets every field.
+
+The bug class this retires: a hand-listed ``reset()`` that silently skips
+a newly added counter, so the value survives ``Experiment`` reuse across
+runs.  The resets now derive from ``dataclasses.fields()``; these tests
+mutate *every* field (recursively) and assert the reset restores every
+declared default — so adding a field can never reintroduce the drift.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.auth.merkle import MerkleStats
+from repro.core.stats import PadStats, ReencryptionStats, SecureMemoryStats
+from repro.counters.global_ctr import GlobalCounterStats
+from repro.counters.monolithic import MonolithicStats
+from repro.counters.prediction import PredictionStats
+from repro.counters.split import SplitCounterStats
+from repro.engines.pipeline import EngineStats
+from repro.memory.bus import BusStats
+from repro.memory.cache import CacheStats
+
+ALL_STATS_CLASSES = [
+    BusStats,
+    CacheStats,
+    EngineStats,
+    GlobalCounterStats,
+    MerkleStats,
+    MonolithicStats,
+    PadStats,
+    PredictionStats,
+    ReencryptionStats,
+    SecureMemoryStats,
+    SplitCounterStats,
+]
+
+
+def mutate_every_field(obj, value=7):
+    """Drive every field (recursively) away from its default."""
+    for f in dataclasses.fields(obj):
+        current = getattr(obj, f.name)
+        if dataclasses.is_dataclass(current) and not isinstance(current, type):
+            mutate_every_field(current, value)
+        elif isinstance(current, bool):
+            setattr(obj, f.name, not current)
+        elif isinstance(current, (int, float)):
+            setattr(obj, f.name, type(current)(value))
+        elif isinstance(current, list):
+            setattr(obj, f.name, [value])
+        elif isinstance(current, dict):
+            setattr(obj, f.name, {value: value})
+        elif isinstance(current, set):
+            setattr(obj, f.name, {value})
+        else:  # pragma: no cover - no stats class has other field kinds
+            raise TypeError(
+                f"add a mutation rule for {type(obj).__name__}.{f.name} "
+                f"({type(current).__name__})"
+            )
+
+
+def assert_all_defaults(obj):
+    for f in dataclasses.fields(obj):
+        current = getattr(obj, f.name)
+        if dataclasses.is_dataclass(current) and not isinstance(current, type):
+            assert_all_defaults(current)
+        elif f.default is not dataclasses.MISSING:
+            assert current == f.default, (
+                f"{type(obj).__name__}.{f.name} survived reset: {current!r}"
+            )
+        elif f.default_factory is not dataclasses.MISSING:
+            assert current == f.default_factory(), (
+                f"{type(obj).__name__}.{f.name} survived reset: {current!r}"
+            )
+
+
+@pytest.mark.parametrize("stats_cls", ALL_STATS_CLASSES,
+                         ids=lambda c: c.__name__)
+class TestFieldDrivenReset:
+    def test_reset_restores_every_field(self, stats_cls):
+        stats = stats_cls()
+        mutate_every_field(stats)
+        stats.reset()
+        assert_all_defaults(stats)
+
+    def test_reset_yields_equal_to_fresh(self, stats_cls):
+        stats = stats_cls()
+        mutate_every_field(stats)
+        stats.reset()
+        assert stats == stats_cls()
+
+
+class TestNestedResetIdentity:
+    def test_nested_stats_reset_in_place(self):
+        """Held references to nested stats must survive the reset live."""
+        stats = SecureMemoryStats()
+        reenc = stats.reencryption
+        pads = stats.pads
+        mutate_every_field(stats)
+        stats.reset()
+        assert stats.reencryption is reenc
+        assert stats.pads is pads
+        assert reenc.page_reencryptions == 0
+        assert pads.pad_requests == 0

@@ -82,3 +82,75 @@ class TestJSONOutput:
         err = capsys.readouterr().err
         assert "unknown scheme" in err
         assert "split" in err
+
+
+class TestJSONPurity:
+    """With --json, stdout is EXACTLY one JSON document — json.loads must
+    swallow the whole stream, piped through a real subprocess so stray
+    prints anywhere in the import graph are caught too."""
+
+    def test_simulate_json_stdout_is_pure(self):
+        import json
+        result = run_cli("simulate", "--app", "gzip", "--scheme", "split",
+                         "--refs", "8000", "--json")
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["scheme"] == "split"
+
+    def test_fuzz_json_stdout_is_pure(self):
+        import json
+        result = run_cli("fuzz", "--campaigns", "1", "--preset", "split+gcm",
+                         "--ops", "12", "--json")
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert "ok" in payload
+
+    def test_profile_json_stdout_is_pure(self, tmp_path):
+        import json
+        trace_path = str(tmp_path / "trace.json")
+        result = run_cli("profile", "--app", "gzip", "--scheme", "split+gcm",
+                         "--refs", "8000", "--trace-out", trace_path,
+                         "--json")
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is True
+        assert payload["misses"] > 0
+        # The file-written note goes to stderr, never stdout.
+        assert "wrote Chrome trace" in result.stderr
+        # The exported trace is itself valid Chrome-trace JSON.
+        with open(trace_path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]
+
+
+class TestProfileCommand:
+    def test_profile_text_output(self, capsys):
+        assert main(["profile", "--app", "gzip", "--scheme", "split+gcm",
+                     "--refs", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "misses attributed" in out
+        assert "max residual" in out
+        assert "dram" in out
+
+    def test_profile_json_reports_attribution(self, capsys):
+        import json
+        assert main(["profile", "--app", "gzip", "--scheme", "split+sha",
+                     "--refs", "8000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["attribution"]
+        assert report["misses"] > 0
+        assert report["max_residual_fraction"] <= 0.01
+        total = sum(report["components_cycles"].values())
+        assert total == pytest.approx(report["total_latency_cycles"],
+                                      rel=1e-6)
+
+    def test_profile_csv_export(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "events.csv")
+        assert main(["profile", "--app", "gzip", "--scheme", "split+gcm",
+                     "--refs", "6000", "--csv-out", csv_path]) == 0
+        with open(csv_path) as handle:
+            header = handle.readline()
+        assert header.startswith("type,cat,name")
+
+    def test_profile_unknown_scheme(self, capsys):
+        assert main(["profile", "--scheme", "rot13"]) == 2

@@ -1,0 +1,172 @@
+"""Field-driven reset and the unified metrics registry."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    reset_fields,
+)
+
+
+@dataclass
+class Inner:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class Outer:
+    reads: int = 0
+    latency: float = 0.0
+    tags: list = field(default_factory=list)
+    inner: Inner = field(default_factory=Inner)
+
+
+class TestResetFields:
+    def test_restores_defaults(self):
+        obj = Outer(reads=7, latency=1.5, tags=["x"])
+        obj.inner.hits = 3
+        reset_fields(obj)
+        assert obj == Outer()
+
+    def test_nested_dataclass_resets_in_place(self):
+        """Callers hold references to nested stats; reset must not rebind."""
+        obj = Outer()
+        inner = obj.inner
+        inner.hits = 9
+        reset_fields(obj)
+        assert obj.inner is inner
+        assert inner.hits == 0
+
+    def test_default_factory_rebuilt(self):
+        obj = Outer(tags=[1, 2, 3])
+        reset_fields(obj)
+        assert obj.tags == []
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            reset_fields(object())
+        with pytest.raises(TypeError):
+            reset_fields(Outer)  # the class, not an instance
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_set_and_reset(self):
+        g = Gauge()
+        g.set(3.5)
+        assert g.read() == 3.5
+        g.reset()
+        assert g.read() == 0.0
+
+    def test_derived_gauge(self):
+        g = Gauge(fn=lambda: 42.0)
+        assert g.read() == 42.0
+        with pytest.raises(ValueError):
+            g.set(1.0)
+        g.reset()  # no-op for derived gauges
+        assert g.read() == 42.0
+
+    def test_histogram(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 300.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 303.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 300.0
+        assert h.mean == pytest.approx(101.0)
+        h.reset()
+        assert h.count == 0
+        assert h.summary()["min"] == 0.0
+
+
+class TestMetricsRegistry:
+    def test_snapshot_dotted_names_and_properties(self):
+        reg = MetricsRegistry()
+        obj = Outer(reads=2)
+        obj.inner.hits = 3
+        obj.inner.misses = 1
+        reg.register("mem", obj)
+        snap = reg.snapshot()
+        assert snap["mem.reads"] == 2
+        assert snap["mem.inner.hits"] == 3
+        # Properties surface as derived gauges.
+        assert snap["mem.inner.hit_rate"] == pytest.approx(0.75)
+
+    def test_registration_idempotent_by_identity(self):
+        reg = MetricsRegistry()
+        obj = Outer()
+        reg.register("a", obj)
+        reg.register("a", obj)
+        assert len(reg.registered_objects()) == 1
+
+    def test_register_rejects_non_dataclass(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError):
+            reg.register("x", object())
+
+    def test_reset_covers_objects_and_instruments(self):
+        reg = MetricsRegistry()
+        obj = Outer(reads=5)
+        reg.register("mem", obj)
+        c = reg.counter("events.total")
+        c.inc(10)
+        h = reg.histogram("lat")
+        h.observe(12.0)
+        reg.reset()
+        assert obj.reads == 0
+        assert c.value == 0
+        assert h.count == 0
+
+    def test_reset_honours_custom_reset_hook(self):
+        calls = []
+
+        @dataclass
+        class WithHook:
+            n: int = 0
+
+            def reset(self):
+                calls.append("hook")
+                self.n = 0
+
+        reg = MetricsRegistry()
+        reg.register("x", WithHook(n=3))
+        reg.reset()
+        assert calls == ["hook"]
+
+    def test_instruments_idempotent_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+        with pytest.raises(ValueError):
+            reg.gauge("c")  # name taken by a different instrument type
+
+    def test_instrument_values_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("total").inc(3)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("lat").observe(7.0)
+        snap = reg.snapshot()
+        assert snap["total"] == 3
+        assert snap["depth"] == 2.0
+        assert snap["lat.count"] == 1
+        assert snap["lat.mean"] == 7.0

@@ -1,0 +1,87 @@
+"""The tracer types: no-op default, recording, strict miss checking."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    AttributionError,
+    MissRecord,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled_by_default(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_all_hooks_are_noops(self):
+        NULL_TRACER.span("bus", "xfer", 0.0, 10.0)
+        NULL_TRACER.instant("counter", "hit", 5.0)
+        NULL_TRACER.miss(MissRecord(address=0, issue=0.0,
+                                    data_ready=1.0, auth_done=1.0))
+        NULL_TRACER.clear()
+
+
+class TestRecordingTracer:
+    def test_enabled(self):
+        assert RecordingTracer().enabled is True
+
+    def test_records_spans_and_instants(self):
+        tracer = RecordingTracer()
+        tracer.span("bus", "xfer", 10.0, 20.0, bytes=64)
+        tracer.instant("counter", "lookup-hit", 12.0, index=3)
+        assert len(tracer) == 2
+        (span,) = tracer.spans("bus")
+        assert span.name == "xfer"
+        assert span.duration == 10.0
+        assert span.args == {"bytes": 64}
+        assert span.is_span
+        (inst,) = tracer.instants("counter")
+        assert inst.begin == 12.0
+        assert inst.end is None
+        assert inst.duration == 0.0
+
+    def test_query_filters_by_category(self):
+        tracer = RecordingTracer()
+        tracer.span("bus", "a", 0.0, 1.0)
+        tracer.span("engine", "b", 0.0, 1.0)
+        tracer.instant("bus", "c", 0.0)
+        assert [e.name for e in tracer.spans()] == ["a", "b"]
+        assert [e.name for e in tracer.spans("engine")] == ["b"]
+        assert [e.name for e in tracer.instants("bus")] == ["c"]
+
+    def test_clear_drops_everything(self):
+        tracer = RecordingTracer(strict=False)
+        tracer.span("bus", "a", 0.0, 1.0)
+        tracer.miss(MissRecord(address=0, issue=0.0,
+                               data_ready=1.0, auth_done=1.0))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.misses == []
+
+    def test_strict_miss_rejects_broken_attribution(self):
+        tracer = RecordingTracer(strict=True)
+        bad = MissRecord(address=0x40, issue=0.0, data_ready=90.0,
+                         auth_done=100.0, parts={"bus": 10.0})  # 90 missing
+        with pytest.raises(AttributionError):
+            tracer.miss(bad)
+        assert tracer.misses == []
+
+    def test_strict_miss_accepts_exact_attribution(self):
+        tracer = RecordingTracer(strict=True)
+        good = MissRecord(address=0x40, issue=0.0, data_ready=90.0,
+                          auth_done=100.0,
+                          parts={"bus": 10.0, "dram": 80.0, "ghash": 10.0})
+        tracer.miss(good)
+        assert tracer.misses == [good]
+
+    def test_non_strict_keeps_broken_records(self):
+        tracer = RecordingTracer(strict=False)
+        bad = MissRecord(address=0, issue=0.0, data_ready=1.0,
+                         auth_done=100.0, parts={})
+        tracer.miss(bad)
+        assert tracer.misses == [bad]

@@ -1,5 +1,7 @@
 """Normalization and aggregation helpers."""
 
+import math
+
 import pytest
 
 from repro.core.config import baseline_config, direct_config
@@ -48,13 +50,42 @@ class TestNormalizedResultEdgeCases:
     def test_zero_cycle_result_has_zero_ipc(self):
         assert sim_result(100, 0).ipc == 0.0
 
-    def test_zero_baseline_ipc_does_not_divide(self):
-        """A dead baseline (0 cycles → 0 IPC) must yield 0, not raise."""
+    def test_zero_baseline_ipc_is_undefined_not_zero(self):
+        """A dead baseline (0 cycles → 0 IPC) makes the ratio undefined.
+
+        It must surface as nan — not 0.0, which would read as "the scheme
+        is infinitely slow" and silently drag figure averages down.
+        """
         cell = NormalizedResult(app="a", scheme="s",
                                 baseline=sim_result(100, 0),
                                 result=sim_result(100, 200))
-        assert cell.normalized_ipc == 0.0
-        assert cell.overhead == 1.0
+        assert math.isnan(cell.normalized_ipc)
+        assert math.isnan(cell.overhead)
+        assert not cell.valid
+
+    def test_valid_cell_reports_valid(self):
+        cell = NormalizedResult(app="a", scheme="s",
+                                baseline=sim_result(100, 100),
+                                result=sim_result(100, 200))
+        assert cell.valid
+
+    def test_aggregation_skips_invalid_cells(self):
+        """Means either reject nan loudly or skip it on request."""
+        cells = [
+            NormalizedResult(app="ok", scheme="s",
+                             baseline=sim_result(1000, 1000),
+                             result=sim_result(1000, 1250)),
+            NormalizedResult(app="dead", scheme="s",
+                             baseline=sim_result(100, 0),
+                             result=sim_result(100, 200)),
+        ]
+        nipcs = [cell.normalized_ipc for cell in cells]
+        with pytest.raises(ValueError):
+            geometric_mean(nipcs)
+        with pytest.raises(ValueError):
+            arithmetic_mean(nipcs)
+        assert geometric_mean(nipcs, skip_invalid=True) == pytest.approx(0.8)
+        assert arithmetic_mean(nipcs, skip_invalid=True) == pytest.approx(0.8)
 
     def test_overhead_positive_when_scheme_slower(self):
         cell = NormalizedResult(app="a", scheme="s",
@@ -98,3 +129,35 @@ class TestMeans:
     def test_geometric_leq_arithmetic(self):
         values = [0.5, 0.9, 0.99, 0.7]
         assert geometric_mean(values) <= arithmetic_mean(values)
+
+    def test_geomean_21_small_values_does_not_underflow(self):
+        """The paper averages over 21 benchmarks; 21 values near 1e-20
+        underflow a naive product (1e-420 < float min) to 0.0.  The log
+        domain keeps the exact answer."""
+        values = [1e-20] * 21
+        assert geometric_mean(values) == pytest.approx(1e-20, rel=1e-9)
+
+    def test_geomean_21_large_values_does_not_overflow(self):
+        values = [1e18] * 21
+        assert geometric_mean(values) == pytest.approx(1e18, rel=1e-9)
+
+    def test_geomean_21_mixed_values_matches_log_domain(self):
+        values = [0.5 + 0.05 * i for i in range(21)]
+        expected = math.exp(sum(math.log(v) for v in values) / 21)
+        assert geometric_mean(values) == pytest.approx(expected)
+
+    def test_geomean_zero_annihilates(self):
+        assert geometric_mean([0.0, 2.0, 8.0]) == 0.0
+
+    def test_geomean_negative_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_geomean_nan_raises_unless_skipped(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, float("nan")])
+        assert geometric_mean([4.0, float("nan"), 1.0],
+                              skip_invalid=True) == pytest.approx(2.0)
+
+    def test_geomean_all_invalid_skipped_is_zero(self):
+        assert geometric_mean([float("nan")] * 3, skip_invalid=True) == 0.0
