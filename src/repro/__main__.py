@@ -9,10 +9,20 @@ Commands:
 * ``apps`` — list the SPEC CPU 2000-like workloads.
 * ``attack [--no-counter-auth]`` — stage the section-4.3 counter-replay
   attack and report detection.
-* ``fuzz [--campaigns N] [--seed S] [--json]`` — run the adversarial-memory
-  fault-injection harness over the scheme presets; exits non-zero when any
-  fault was missed, any spurious violation appeared, or a differential
-  check diverged (see :mod:`repro.testing`).
+* ``fuzz [--campaigns N] [--seed S] [--recover POLICY] [--timeout SEC]
+  [--json]`` — run the adversarial-memory fault-injection harness over the
+  scheme presets; ``--recover`` enables integrity-violation recovery on
+  every system under test (transient glitches must heal, persistent
+  tampers must still end loudly).  Exit codes: 0 clean, 1 failures found
+  (missed / spurious / unrecovered transient / diverged differential),
+  2 usage error, 3 wall-clock timeout hit with no failures so far (the
+  report is valid but partial; see :mod:`repro.testing`).
+* ``sweep [--scheme S ...] [--app A ...] [--timeout SEC] [--retries N]
+  [--json]`` — run the scheme x app cross product under the supervised
+  runner: each cell in its own subprocess with a wall-clock budget and
+  crash/timeout retries.  Exit codes: 0 all cells ok, 1 any cell failed or
+  timed out, 2 usage error, 130 interrupted (SIGINT; the partial report is
+  still printed).
 * ``profile --app mcf --scheme split+gcm [--trace-out t.json] [--csv-out
   t.csv] [--json]`` — run one traced simulation, decompose every L2 miss's
   latency into bus/DRAM/AES/GHASH/tree components, and report the
@@ -115,7 +125,8 @@ def _cmd_fuzz(args) -> int:
             campaigns=args.campaigns, seed=args.seed,
             presets=args.preset or None, weaken=args.weaken,
             num_ops=args.ops, shrink=not args.no_shrink,
-            mac_bits=args.mac_bits,
+            mac_bits=args.mac_bits, recover=args.recover,
+            timeout=args.timeout,
         )
     except KeyError as exc:
         print(f"{exc.args[0]}; see `python -m repro schemes`",
@@ -125,6 +136,67 @@ def _cmd_fuzz(args) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(format_report(report))
+    if not report.ok:
+        return 1
+    return 3 if report.timed_out else 0
+
+
+def _cmd_sweep(args) -> int:
+    import dataclasses
+
+    from repro.resilience.runner import SweepCell, run_many
+
+    schemes = args.scheme or ["split+gcm"]
+    for name in schemes:
+        try:
+            api.get_config(name)
+        except KeyError as exc:
+            print(f"{exc.args[0]}", file=sys.stderr)
+            return 2
+    apps = args.app or ["swim"]
+    cells = [SweepCell(scheme=scheme, app=app, refs=args.refs)
+             for scheme in schemes for app in apps]
+    for spec in args.inject or ():
+        kind, sep, index = spec.partition("@")
+        if not sep or not index.lstrip("-").isdigit():
+            print(f"--inject wants KIND@INDEX, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        position = int(index)
+        if not 0 <= position < len(cells):
+            print(f"--inject index {position} out of range "
+                  f"(sweep has {len(cells)} cell(s))", file=sys.stderr)
+            return 2
+        try:
+            cells[position] = dataclasses.replace(cells[position],
+                                                  inject=kind)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    total = len(cells)
+
+    def progress(result) -> None:
+        print(f"sweep: {result.cell.label} -> {result.status} "
+              f"({result.attempts} attempt(s))", file=sys.stderr)
+
+    report = run_many(cells, timeout=args.timeout, retries=args.retries,
+                      retry_backoff=args.retry_backoff, progress=progress)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for cell in report.cells:
+            line = (f"  {cell.cell.label:<22} {cell.status:<8} "
+                    f"attempts={cell.attempts}")
+            if cell.error:
+                line += f"  ({cell.error})"
+            print(line)
+        counts = report.counts()
+        summary = ", ".join(f"{counts[key]} {key}" for key in sorted(counts))
+        print(f"sweep: {total} cell(s): {summary}"
+              + ("  [INTERRUPTED]" if report.interrupted else ""))
+    if report.interrupted:
+        return 130
     return 0 if report.ok else 1
 
 
@@ -209,8 +281,37 @@ def main(argv: list[str] | None = None) -> int:
                            "(harness self-check: faults must be missed)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip minimizing failing schedules")
+    fuzz.add_argument("--recover", choices=("halt", "quarantine_page"),
+                      default=None,
+                      help="enable integrity-violation recovery on every "
+                           "system under test; rotates transient glitches "
+                           "into the fault mix")
+    fuzz.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="wall-clock budget; stops between scenarios and "
+                           "reports partial results (exit 3 if clean)")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the machine-readable report")
+    sweep = sub.add_parser(
+        "sweep", help="supervised multi-experiment sweep (subprocesses)")
+    sweep.add_argument("--scheme", action="append", metavar="NAME",
+                       help="scheme preset (repeatable; default split+gcm)")
+    sweep.add_argument("--app", action="append", choices=SPEC_APPS,
+                       help="workload (repeatable; default swim)")
+    sweep.add_argument("--refs", type=int, default=20_000,
+                       help="memory references per cell (default 20000)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-attempt wall-clock budget per cell")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for crashed/timed-out cells "
+                            "(default 1)")
+    sweep.add_argument("--retry-backoff", type=float, default=0.25,
+                       metavar="SEC",
+                       help="base retry delay, doubles per retry")
+    sweep.add_argument("--inject", action="append", metavar="KIND@INDEX",
+                       help="test hook: make cell INDEX misbehave (crash, "
+                            "hang, crash-always, hang-always; repeatable)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON report")
     prof = sub.add_parser(
         "profile", help="traced simulation with per-miss cycle attribution")
     prof.add_argument("--app", default="swim", choices=SPEC_APPS)
@@ -227,7 +328,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     return {"schemes": _cmd_schemes, "apps": _cmd_apps,
             "simulate": _cmd_simulate, "attack": _cmd_attack,
-            "fuzz": _cmd_fuzz, "profile": _cmd_profile}[args.command](args)
+            "fuzz": _cmd_fuzz, "profile": _cmd_profile,
+            "sweep": _cmd_sweep}[args.command](args)
 
 
 if __name__ == "__main__":

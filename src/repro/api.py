@@ -40,7 +40,7 @@ from repro.obs import (
     write_chrome_trace,
     write_csv,
 )
-from repro.sim import SimResult, simulate
+from repro.sim import LoopState, Processor, SimResult, simulate
 from repro.workloads import SPEC_APPS, spec_trace
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "list_configs",
     "profile",
     "run",
+    "run_many",
 ]
 
 
@@ -158,14 +159,37 @@ class Experiment:
             return spec_trace(self.workload, self.refs)
         return self.workload
 
-    def run(self) -> ExperimentResult:
+    def run(self, *, checkpoint_every: int | None = None,
+            checkpoint_path: str | None = None,
+            resume_from: str | None = None) -> ExperimentResult:
+        """Simulate the experiment (checkpointing / resuming on request).
+
+        With ``checkpoint_every``/``checkpoint_path``, the run writes one
+        rolling checkpoint file every N trace references (atomically —
+        partial writes never clobber a good checkpoint).  ``resume_from``
+        restores a checkpoint and continues the *same* experiment: the
+        saved configuration, workload, reference counts, and trace digest
+        must all match, otherwise :class:`repro.resilience.CheckpointError`
+        is raised.  A resumed run finishes with statistics bit-identical to
+        the uninterrupted run — the baseline is recomputed deterministically
+        either way.
+        """
         trace = self._trace()
         baseline = self.baseline_result
         if baseline is None:
             baseline = simulate(get_config("baseline"), trace,
                                 warmup_refs=self.warmup_refs)
-        result = simulate(self.config, trace, warmup_refs=self.warmup_refs,
-                          tracer=self.tracer)
+        checkpointing = (checkpoint_every is not None
+                         or checkpoint_path is not None
+                         or resume_from is not None)
+        if checkpointing:
+            result = self._run_checkpointed(
+                trace, checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path, resume_from=resume_from)
+        else:
+            result = simulate(self.config, trace,
+                              warmup_refs=self.warmup_refs,
+                              tracer=self.tracer)
         self.baseline_result = baseline
         self.result = result
         if self._trace_out is not None:
@@ -205,18 +229,103 @@ class Experiment:
             full_reencryptions=reenc.full_reencryptions,
         )
 
+    def _app_name(self) -> str:
+        return (self.workload if isinstance(self.workload, str)
+                else getattr(self.workload, "name", "custom-trace"))
+
+    def _run_checkpointed(self, trace, *, checkpoint_every: int | None,
+                          checkpoint_path: str | None,
+                          resume_from: str | None) -> SimResult:
+        from repro.resilience.checkpoint import (
+            CheckpointError,
+            checkpoint_simulation,
+            config_state,
+            load_checkpoint,
+            save_checkpoint,
+            trace_digest,
+        )
+
+        if self.tracer is not None:
+            raise ValueError(
+                "checkpoint/resume does not compose with trace recording — "
+                "tracer event streams are not checkpointed; run without "
+                "trace=")
+        if (checkpoint_every is None) != (checkpoint_path is None):
+            raise ValueError(
+                "checkpoint_every and checkpoint_path go together: one "
+                "names the cadence, the other the rolling checkpoint file")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        meta = {
+            "app": self._app_name(),
+            "refs": self.refs,
+            "warmup_refs": self.warmup_refs,
+            "trace_sha256": trace_digest(trace),
+        }
+        processor = Processor(self.config)
+        resume_state = None
+        if resume_from is not None:
+            payload = load_checkpoint(resume_from, kind="simulation")
+            if payload["config"] != config_state(self.config):
+                raise CheckpointError(
+                    "checkpoint was taken under a different configuration "
+                    f"({payload['config'].get('name')!r}); construct the "
+                    "experiment with the identical config to resume")
+            if payload["meta"] != meta:
+                raise CheckpointError(
+                    "checkpoint is from a different experiment "
+                    f"(saved {payload['meta']}, resuming {meta})")
+            processor.load_state(payload["processor"])
+            resume_state = LoopState.from_dict(payload["loop"])
+        on_checkpoint = None
+        if checkpoint_path is not None:
+            def on_checkpoint(loop):
+                save_checkpoint(checkpoint_path,
+                                checkpoint_simulation(processor, loop,
+                                                      meta=meta))
+        return processor.run(trace, warmup_refs=self.warmup_refs,
+                             resume=resume_state,
+                             checkpoint_every=checkpoint_every,
+                             on_checkpoint=on_checkpoint)
+
 
 def run(config: SecureMemoryConfig | str, workload: Any = "swim", *,
         refs: int = 60_000, warmup_refs: int | None = None,
-        trace: Tracer | str | None = None) -> ExperimentResult:
+        trace: Tracer | str | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | None = None,
+        resume_from: str | None = None) -> ExperimentResult:
     """One-shot: build an :class:`Experiment` and run it.
 
     ``trace`` takes a :class:`~repro.obs.RecordingTracer` (the caller keeps
     the reference and inspects events/misses afterwards) or a file path (a
-    Chrome trace is written there when the run completes).
+    Chrome trace is written there when the run completes).  The checkpoint
+    keywords pass through to :meth:`Experiment.run` — write a rolling
+    checkpoint every N references and/or resume a previous one.
     """
     return Experiment(config, workload, refs=refs,
-                      warmup_refs=warmup_refs, trace=trace).run()
+                      warmup_refs=warmup_refs, trace=trace).run(
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from)
+
+
+def run_many(cells, *, timeout: float | None = None, retries: int = 1,
+             retry_backoff: float = 0.25, progress=None):
+    """Supervised sweep over many experiments (subprocess isolation).
+
+    A facade over :func:`repro.resilience.run_many` (imported lazily).
+    ``cells`` is an iterable of :class:`repro.resilience.SweepCell` or
+    equivalent dicts; each runs in its own worker process with an optional
+    per-cell wall-clock ``timeout`` and crash/timeout ``retries``.  Returns
+    a :class:`repro.resilience.SweepReport` whose ``to_dict()`` marks every
+    cell ``ok``/``failed``/``timeout``/``skipped``.
+    """
+    from repro.resilience.runner import run_many as _run_many
+
+    return _run_many(cells, timeout=timeout, retries=retries,
+                     retry_backoff=retry_backoff, progress=progress)
 
 
 @dataclass

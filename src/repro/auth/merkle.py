@@ -41,7 +41,50 @@ from repro.obs.tracer import Tracer
 
 
 class IntegrityViolation(Exception):
-    """A MAC check failed: the memory image was tampered with or replayed."""
+    """A MAC check failed: the memory image was tampered with or replayed.
+
+    Beyond the human-readable message, the exception carries the *where*
+    and the *what* of the failure — block address, tree level, and the
+    expected-vs-computed MACs — so a recovery controller (or a human
+    reading a fuzz log) can triage without parsing strings.  Constructing
+    with a plain message (``IntegrityViolation("...")``) stays valid for
+    subclasses and ad-hoc raises.
+    """
+
+    def __init__(self, message: str | None = None, *,
+                 kind: str = "unknown", address: int | None = None,
+                 level: int | None = None, index: int | None = None,
+                 leaf_index: int | None = None, counter: int | None = None,
+                 expected: bytes | None = None,
+                 actual: bytes | None = None) -> None:
+        self.kind = kind
+        self.address = address
+        self.level = level
+        self.index = index
+        self.leaf_index = leaf_index
+        self.counter = counter
+        self.expected = bytes(expected) if expected is not None else None
+        self.actual = bytes(actual) if actual is not None else None
+        super().__init__(message if message is not None else self.describe())
+
+    def describe(self) -> str:
+        """Build the message from the structured fields."""
+        if self.kind == "node":
+            head = f"Merkle node (level {self.level}, index {self.index})"
+        elif self.kind == "leaf":
+            head = f"leaf {self.leaf_index}"
+        else:
+            head = "integrity check"
+        if self.address is not None and self.kind != "node":
+            head += f" (address {self.address:#x})"
+        parts = [head, "failed verification"]
+        if self.counter is not None:
+            parts.append(f"under counter {self.counter}")
+        text = " ".join(parts)
+        if self.expected is not None and self.actual is not None:
+            text += (f": expected MAC {self.expected.hex()}, "
+                     f"computed {self.actual.hex()}")
+        return text
 
 
 @dataclass
@@ -184,8 +227,9 @@ class MerkleTree:
         if not constant_time_equal(actual, expected):
             self.stats.violations_detected += 1
             raise IntegrityViolation(
-                f"Merkle node (level {level}, index {index}) failed "
-                f"verification"
+                kind="node", address=address, level=level, index=index,
+                counter=self.derivative_counter(level, index),
+                expected=expected, actual=actual,
             )
         payload = bytearray(content)
         self._install(level, index, payload, dirty=False)
@@ -309,8 +353,8 @@ class MerkleTree:
                                float(self.stats.leaf_verifications),
                                leaf=leaf_index, address=leaf_address)
             raise IntegrityViolation(
-                f"leaf {leaf_index} (address {leaf_address:#x}) failed "
-                f"verification"
+                kind="leaf", address=leaf_address, leaf_index=leaf_index,
+                counter=counter, expected=expected, actual=actual,
             )
         self.stats.record_chain(len(fetched))
         if tracer is not None and tracer.enabled:
@@ -398,6 +442,47 @@ class MerkleTree:
             address, line = dirty[0]
             line.dirty = False
             self._write_back_node(address, line.payload)
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable tree state (checkpointing must not race a write-back)."""
+        if self._in_flight:
+            raise RuntimeError(
+                "cannot checkpoint a Merkle tree mid write-back"
+            )
+        return {
+            "derivative": dict(self._derivative),
+            "node_written": set(self._node_written),
+            "root_register": self._root_register,
+            "node_cache": self.node_cache.state_dict(),
+            "stats": {
+                "leaf_verifications": self.stats.leaf_verifications,
+                "leaf_updates": self.stats.leaf_updates,
+                "node_fetches": self.stats.node_fetches,
+                "node_writebacks": self.stats.node_writebacks,
+                "mac_computations": self.stats.mac_computations,
+                "violations_detected": self.stats.violations_detected,
+                "chain_lengths": dict(self.stats.chain_lengths),
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._derivative = dict(state["derivative"])
+        self._node_written = set(state["node_written"])
+        self._root_register = bytes(state["root_register"])
+        self._in_flight = {}
+        self.node_cache.load_state(state["node_cache"])
+        st = state["stats"]
+        self.stats.leaf_verifications = st["leaf_verifications"]
+        self.stats.leaf_updates = st["leaf_updates"]
+        self.stats.node_fetches = st["node_fetches"]
+        self.stats.node_writebacks = st["node_writebacks"]
+        self.stats.mac_computations = st["mac_computations"]
+        self.stats.violations_detected = st["violations_detected"]
+        self.stats.chain_lengths = {
+            int(k): v for k, v in st["chain_lengths"].items()
+        }
 
     @property
     def root_register(self) -> bytes:

@@ -54,6 +54,50 @@ class AuthMode(enum.Enum):
     SHA1 = "sha1"
 
 
+class RecoveryPolicy(enum.Enum):
+    """What to do once an integrity failure is classified as persistent."""
+
+    HALT = "halt"                      # raise RecoveryHalted, stop the run
+    QUARANTINE_PAGE = "quarantine_page"  # fence the page, keep running
+    DEGRADE = "degrade"                # serve unverified data, keep running
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Integrity-violation recovery knobs (disabled by default).
+
+    With ``enabled``, an integrity-check failure triggers bounded re-fetch
+    with exponential backoff + jitter; a block that verifies within
+    ``max_retries`` re-reads is a *transient* fault, one that never does is
+    *persistent* and handled per ``policy``.
+    """
+
+    enabled: bool = False
+    policy: RecoveryPolicy = RecoveryPolicy.HALT
+    max_retries: int = 3
+    backoff_base_cycles: float = 64.0
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_cycles < 0:
+            raise ValueError("backoff_base_cycles must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1), "
+                f"got {self.jitter_fraction}"
+            )
+
+
 # Section 5 machine parameters (processor cycles unless noted).
 DEFAULT_BLOCK_SIZE = 64
 DEFAULT_L1_SIZE = 16 * 1024
@@ -106,6 +150,8 @@ class SecureMemoryConfig:
     aes_engines: int = 1
     sha_latency: float = 320.0
     sha_stages: int = 32
+
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
         """Reject impossible design points at construction time.

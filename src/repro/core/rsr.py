@@ -111,3 +111,27 @@ class RSRFile:
     @property
     def active_count(self) -> int:
         return sum(1 for rsr in self.rsrs if rsr.valid)
+
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "rsrs": [
+                {
+                    "valid": rsr.valid,
+                    "page_index": rsr.page_index,
+                    "old_major": rsr.old_major,
+                    "done": list(rsr.done),
+                    "busy_until": rsr.busy_until,
+                }
+                for rsr in self.rsrs
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        for rsr, entry in zip(self.rsrs, state["rsrs"]):
+            rsr.valid = entry["valid"]
+            rsr.page_index = entry["page_index"]
+            rsr.old_major = entry["old_major"]
+            rsr.done = list(entry["done"])
+            rsr.busy_until = entry["busy_until"]

@@ -54,6 +54,11 @@ from repro.memory.cache import Cache
 from repro.memory.dram import MainMemory
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.recovery import (
+    QuarantinedPageError,
+    RecoveryController,
+    RecoveryHalted,
+)
 
 
 def make_counter_scheme(config: SecureMemoryConfig) -> CounterScheme:
@@ -164,6 +169,15 @@ class SecureMemorySystem:
         )
         self.rsr_file = RSRFile(config.num_rsrs, blocks_per_page)
 
+        # Integrity-violation recovery (off unless the config enables it).
+        self.recovery: RecoveryController | None = None
+        if config.recovery.enabled:
+            self.recovery = RecoveryController(
+                config.recovery,
+                page_bytes=blocks_per_page * self.block_size,
+                tracer=self.tracer,
+            )
+
         self.stats = SecureMemoryStats()
         self._materialized: set[int] = set()          # data block addresses
         self._counter_materialized: set[int] = set()  # counter block indices
@@ -181,6 +195,8 @@ class SecureMemorySystem:
             self.metrics.register("merkle", self.merkle.stats)
         if hasattr(self.counter_scheme, "stats"):
             self.metrics.register("scheme", self.counter_scheme.stats)
+        if self.recovery is not None:
+            self.metrics.register("recovery", self.recovery.stats)
         if self.tracer.enabled:
             if self.counter_cache is not None:
                 self.counter_cache.tracer = self.tracer
@@ -254,9 +270,15 @@ class SecureMemorySystem:
             mem_address = self.counter_cache.memory_address(index)
             image = self.dram.read_block(mem_address)
             if self.merkle is not None and self.config.authenticate_counters:
-                self.merkle.verify_leaf(
+                per = self.counter_scheme.data_blocks_per_counter_block
+                base = index * per * self.block_size
+                image = self._verified_leaf_fetch(
                     self._counter_leaf_index(index), mem_address,
                     self._counter_deriv.get(index, 0), image,
+                    label="counter",
+                    # A bad counter block compromises every data block it
+                    # covers, so the quarantine fence spans all of them.
+                    quarantine=[base, base + (per - 1) * self.block_size],
                 )
             self.counter_scheme.decode_counter_block(index, image)
         eviction = self.counter_cache.fill(index, dirty=False)
@@ -287,6 +309,38 @@ class SecureMemorySystem:
         self._ensure_counter_block(address, for_write)
         return self.counter_scheme.counter_for_block(address)
 
+    # -- recovery-aware verification ---------------------------------------------
+
+    def _verified_leaf_fetch(self, leaf_index: int, address: int,
+                             counter: int, image: bytes, *,
+                             label: str = "data",
+                             quarantine: list[int] | None = None) -> bytes:
+        """Verify a fetched leaf image, routing failures through recovery.
+
+        Without a recovery controller this is the historical behaviour:
+        count the violation and re-raise.  With one, the controller
+        re-fetches/re-verifies and either returns a good (or, under
+        ``degrade``, the unverified) image or raises its policy exception.
+        """
+        assert self.merkle is not None
+        merkle = self.merkle
+        try:
+            merkle.verify_leaf(leaf_index, address, counter, image)
+            return image
+        except IntegrityViolation as exc:
+            self.stats.integrity_violations += 1
+            if (self.recovery is None
+                    or isinstance(exc, (RecoveryHalted,
+                                        QuarantinedPageError))):
+                raise
+            return self.recovery.recover(
+                address=address, label=label, violation=exc,
+                reread=lambda: self.dram.read_block(address),
+                verify=lambda img: merkle.verify_leaf(
+                    leaf_index, address, counter, img),
+                quarantine_addresses=quarantine,
+            )
+
     # -- fetch / write-back -------------------------------------------------------
 
     def _fetch_block(self, address: int) -> bytearray:
@@ -297,14 +351,9 @@ class SecureMemorySystem:
         counter = self._counter_for(address, for_write=False)
         ciphertext = self.dram.read_block(address)
         if self.merkle is not None:
-            try:
-                self.merkle.verify_leaf(
-                    self._data_leaf_index(address), address, counter,
-                    ciphertext,
-                )
-            except IntegrityViolation:
-                self.stats.integrity_violations += 1
-                raise
+            ciphertext = self._verified_leaf_fetch(
+                self._data_leaf_index(address), address, counter, ciphertext
+            )
         return bytearray(self._decrypt(address, counter, ciphertext))
 
     def _write_back(self, address: int, plaintext: bytes) -> None:
@@ -368,8 +417,18 @@ class SecureMemorySystem:
                     for address, counter, ciphertext in fetched
                 ])
             except IntegrityViolation:
-                self.stats.integrity_violations += 1
-                raise
+                if self.recovery is None:
+                    self.stats.integrity_violations += 1
+                    raise
+                # Scalar fallback: re-verify each block individually so the
+                # failing one(s) get the full retry/classify/policy
+                # treatment while the rest stay cheap re-checks.
+                fetched = [
+                    (address, counter, self._verified_leaf_fetch(
+                        self._data_leaf_index(address), address, counter,
+                        ciphertext))
+                    for address, counter, ciphertext in fetched
+                ]
         mode = self.config.encryption
         if mode is EncryptionMode.COUNTER:
             plaintexts = bulk_ctr_transform(self._data_aes, fetched)
@@ -448,9 +507,9 @@ class SecureMemorySystem:
             ciphertext = self.dram.read_block(block_address)
             old_counter = scheme.counter_with_major(block_address, old_major)
             if self.merkle is not None:
-                self.merkle.verify_leaf(
+                ciphertext = self._verified_leaf_fetch(
                     self._data_leaf_index(block_address), block_address,
-                    old_counter, ciphertext,
+                    old_counter, ciphertext, label="reencrypt",
                 )
             plaintext = self._decrypt(block_address, old_counter, ciphertext)
             scheme.reset_minor(block_address)
@@ -496,6 +555,8 @@ class SecureMemorySystem:
     def read_block(self, address: int) -> bytes:
         """Read one block through the L2 (plaintext view)."""
         self._check_data_address(address)
+        if self.recovery is not None:
+            self.recovery.check_fence(address)
         if self.l2.access(address):
             return bytes(self.l2.lookup(address).payload)
         plaintext = self._fetch_block(address)
@@ -509,6 +570,8 @@ class SecureMemorySystem:
         self._check_data_address(address)
         if len(data) != self.block_size:
             raise ValueError(f"data must be {self.block_size} bytes")
+        if self.recovery is not None:
+            self.recovery.check_fence(address)
         if self.l2.access(address, write=True):
             self.l2.lookup(address).payload[:] = data
             return
@@ -533,6 +596,8 @@ class SecureMemorySystem:
         """
         for address in addresses:
             self._check_data_address(address)
+            if self.recovery is not None:
+                self.recovery.check_fence(address)
         out: list[bytes | None] = [None] * len(addresses)
         misses: dict[int, list[int]] = {}
         for slot, address in enumerate(addresses):
@@ -569,6 +634,8 @@ class SecureMemorySystem:
             self._check_data_address(address)
             if len(data) != self.block_size:
                 raise ValueError(f"data must be {self.block_size} bytes")
+            if self.recovery is not None:
+                self.recovery.check_fence(address)
         staged: dict[int, bytes] = {}   # miss staging, last write wins
         for address, data in pairs:
             if address in staged:
@@ -644,3 +711,55 @@ class SecureMemorySystem:
         if self.merkle is not None:
             total = max(total, self.merkle.stats.violations_detected)
         return total
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable full machine state (see repro.resilience.checkpoint).
+
+        Key material is *not* secret to the checkpoint: the base key is
+        part of the construction parameters, so only the epoch needs
+        recording — the data key re-derives on load.
+        """
+        from repro.obs.metrics import fields_state
+        state: dict = {
+            "key_epoch": self._key_epoch,
+            "materialized": set(self._materialized),
+            "counter_materialized": set(self._counter_materialized),
+            "counter_deriv": dict(self._counter_deriv),
+            "l2": self.l2.state_dict(),
+            "dram": self.dram.state_dict(),
+            "rsrs": self.rsr_file.state_dict(),
+            "stats": fields_state(self.stats),
+        }
+        if self.counter_cache is not None:
+            state["counter_cache"] = self.counter_cache.state_dict()
+        if self.counter_scheme is not None:
+            state["scheme"] = self.counter_scheme.state_dict()
+        if self.merkle is not None:
+            state["merkle"] = self.merkle.state_dict()
+        if self.recovery is not None:
+            state["recovery"] = self.recovery.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.obs.metrics import load_fields_state
+        self._key_epoch = state["key_epoch"]
+        self._data_aes = AES128(
+            _derive_key(self._base_key, b"data", self._key_epoch)
+        )
+        self._materialized = set(state["materialized"])
+        self._counter_materialized = set(state["counter_materialized"])
+        self._counter_deriv = dict(state["counter_deriv"])
+        self.l2.load_state(state["l2"])
+        self.dram.load_state(state["dram"])
+        self.rsr_file.load_state(state["rsrs"])
+        load_fields_state(self.stats, state["stats"])
+        if self.counter_cache is not None:
+            self.counter_cache.load_state(state["counter_cache"])
+        if self.counter_scheme is not None:
+            self.counter_scheme.load_state(state["scheme"])
+        if self.merkle is not None:
+            self.merkle.load_state(state["merkle"])
+        if self.recovery is not None:
+            self.recovery.load_state(state["recovery"])

@@ -92,3 +92,11 @@ class CounterCache:
     @property
     def stats(self):
         return self.cache.stats
+
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return self.cache.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.cache.load_state(state)

@@ -19,7 +19,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
-from repro.obs.metrics import reset_fields
+from repro.obs.metrics import fields_state, load_fields_state, reset_fields
 
 
 @dataclass
@@ -74,6 +74,20 @@ class GlobalCounterScheme(CounterScheme):
             self.global_counter = max(self.global_counter, value)
         else:
             self._snapshots.pop(block_address, None)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "global_counter": self.global_counter,
+            "snapshots": dict(self._snapshots),
+            "stats": fields_state(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.global_counter = state["global_counter"]
+        self._snapshots = dict(state["snapshots"])
+        load_fields_state(self.stats, state["stats"])
 
     # -- layout (identical to monolithic counters of the same width) -------
 

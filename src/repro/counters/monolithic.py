@@ -17,7 +17,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
-from repro.obs.metrics import reset_fields
+from repro.obs.metrics import fields_state, load_fields_state, reset_fields
 
 
 @dataclass
@@ -81,6 +81,18 @@ class MonolithicCounterScheme(CounterScheme):
     def fastest_counter(self) -> int:
         """Largest counter value reached — drives Table 2's overflow ETA."""
         return max(self._counters.values(), default=0)
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "counters": dict(self._counters),
+            "stats": fields_state(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._counters = dict(state["counters"])
+        load_fields_state(self.stats, state["stats"])
 
     # -- layout --------------------------------------------------------------
 

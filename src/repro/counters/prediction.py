@@ -27,7 +27,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
-from repro.obs.metrics import reset_fields
+from repro.obs.metrics import fields_state, load_fields_state, reset_fields
 
 DEFAULT_PREDICTION_DEPTH = 5
 
@@ -100,6 +100,20 @@ class CounterPredictionScheme(CounterScheme):
         self._counters[block_address] = value
         # 64-bit counters never overflow on simulated timescales.
         return IncrementResult(counter=value, action=OverflowAction.NONE)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "counters": dict(self._counters),
+            "bases": dict(self._bases),
+            "stats": fields_state(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._counters = dict(state["counters"])
+        self._bases = dict(state["bases"])
+        load_fields_state(self.stats, state["stats"])
 
     # -- layout (same as 64-bit monolithic) ---------------------------------
 

@@ -21,7 +21,7 @@ from repro.counters.base import (
     IncrementResult,
     OverflowAction,
 )
-from repro.obs.metrics import reset_fields
+from repro.obs.metrics import fields_state, load_fields_state, reset_fields
 
 
 @dataclass
@@ -133,6 +133,20 @@ class SplitCounterScheme(CounterScheme):
     def reset_minor(self, block_address: int) -> None:
         """Zero one block's minor counter (per-block re-encryption step)."""
         self._minors.pop(block_address, None)
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "majors": dict(self._majors),
+            "minors": dict(self._minors),
+            "stats": fields_state(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._majors = dict(state["majors"])
+        self._minors = dict(state["minors"])
+        load_fields_state(self.stats, state["stats"])
 
     # -- memory layout -----------------------------------------------------------
 

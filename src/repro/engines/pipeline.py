@@ -84,6 +84,22 @@ class PipelinedEngine:
         self._next_issue = [0.0] * self.copies
         self.stats.reset()
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "next_issue": list(self._next_issue),
+            "stats": {
+                "operations": self.stats.operations,
+                "stall_cycles": self.stats.stall_cycles,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._next_issue = list(state["next_issue"])
+        self.stats.operations = state["stats"]["operations"]
+        self.stats.stall_cycles = state["stats"]["stall_cycles"]
+
     def __repr__(self) -> str:
         return (
             f"PipelinedEngine({self.name}: {self.latency}cyc latency, "

@@ -99,3 +99,24 @@ class MemoryBus:
     def reset(self) -> None:
         self._free_at = 0.0
         self.stats.reset()
+
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "free_at": self._free_at,
+            "stats": {
+                "transactions": self.stats.transactions,
+                "bytes_moved": self.stats.bytes_moved,
+                "busy_cycles": self.stats.busy_cycles,
+                "queue_cycles": self.stats.queue_cycles,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._free_at = state["free_at"]
+        st = state["stats"]
+        self.stats.transactions = st["transactions"]
+        self.stats.bytes_moved = st["bytes_moved"]
+        self.stats.busy_cycles = st["busy_cycles"]
+        self.stats.queue_cycles = st["queue_cycles"]

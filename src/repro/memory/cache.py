@@ -213,6 +213,53 @@ class Cache:
         self._sets = [[] for _ in range(self.num_sets)]
         return dirty
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable state: per-set lines in MRU order, plus stats.
+
+        Payloads are carried as bytes (``None`` for payload-less lines);
+        :meth:`load_state` restores them as fresh ``bytearray`` buffers —
+        payload identity is not preserved, only content and order.
+        """
+        return {
+            "sets": [
+                [
+                    {
+                        "tag": line.tag,
+                        "dirty": line.dirty,
+                        "payload": (bytes(line.payload)
+                                    if line.payload is not None else None),
+                    }
+                    for line in lines
+                ]
+                for lines in self._sets
+            ],
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "writebacks": self.stats.writebacks,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._sets = [
+            [
+                CacheLine(
+                    tag=entry["tag"],
+                    dirty=entry["dirty"],
+                    payload=(bytearray(entry["payload"])
+                             if entry["payload"] is not None else None),
+                )
+                for entry in lines
+            ]
+            for lines in state["sets"]
+        ]
+        st = state["stats"]
+        self.stats.hits = st["hits"]
+        self.stats.misses = st["misses"]
+        self.stats.writebacks = st["writebacks"]
+
     def __repr__(self) -> str:
         return (
             f"Cache({self.name}: {self.size_bytes}B, {self.assoc}-way, "

@@ -93,6 +93,25 @@ class MainMemory:
         """Snapshot of every block ever written — the attacker's recording."""
         return dict(self._blocks)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "blocks": dict(self._blocks),
+            "stats": {"reads": self.stats.reads,
+                      "writes": self.stats.writes},
+        }
+
+    def load_state(self, state: dict) -> None:
+        # Mutate (never rebind) the live dict/stats: wrappers that adopted
+        # them via :meth:`transplant_from` must keep observing this memory.
+        self._blocks.clear()
+        self._blocks.update(
+            {addr: bytes(data) for addr, data in state["blocks"].items()}
+        )
+        self.stats.reads = state["stats"]["reads"]
+        self.stats.writes = state["stats"]["writes"]
+
     def transplant_from(self, other: "MainMemory") -> None:
         """Adopt another device's backing store and statistics in place.
 

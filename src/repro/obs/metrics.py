@@ -45,6 +45,46 @@ def reset_fields(obj: Any) -> None:
             setattr(obj, f.name, f.default_factory())
 
 
+def fields_state(obj: Any) -> dict[str, Any]:
+    """Serializable snapshot of a stats dataclass (recursing into nested ones).
+
+    The checkpoint layer uses this as the generic dataclass serializer:
+    every field value is either a scalar, a container of scalars, or a
+    nested stats dataclass (stored as a nested dict).
+    """
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"fields_state needs a dataclass instance, got {obj!r}")
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            out[f.name] = fields_state(value)
+        elif isinstance(value, dict):
+            out[f.name] = dict(value)
+        elif isinstance(value, list):
+            out[f.name] = list(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def load_fields_state(obj: Any, state: dict[str, Any]) -> None:
+    """Restore a :func:`fields_state` snapshot in place (nested included)."""
+    for f in dataclasses.fields(obj):
+        if f.name not in state:
+            continue
+        value = state[f.name]
+        current = getattr(obj, f.name)
+        if dataclasses.is_dataclass(current) and not isinstance(current, type):
+            load_fields_state(current, value)
+        elif isinstance(current, dict):
+            setattr(obj, f.name, dict(value))
+        elif isinstance(current, list):
+            setattr(obj, f.name, list(value))
+        else:
+            setattr(obj, f.name, value)
+
+
 def _walk_values(prefix: str, obj: Any) -> Iterator[tuple[str, Any]]:
     """Yield (dotted_name, value) for fields and properties, recursively."""
     for f in dataclasses.fields(obj):
@@ -233,3 +273,46 @@ class MetricsRegistry:
                 reset_fields(obj)
         for instrument in self._instruments.values():
             instrument.reset()
+
+    # -- checkpoint support ------------------------------------------------
+
+    def instruments_state(self) -> dict[str, Any]:
+        """Serializable state of the ad-hoc instruments.
+
+        Registered stats *objects* are owned (and checkpointed) by their
+        subsystems; only the registry-owned counters/gauges/histograms
+        need saving here.  Derived gauges recompute, so they carry none.
+        """
+        out: dict[str, Any] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                if instrument.fn is None:
+                    out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "buckets": list(instrument.buckets),
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                }
+        return out
+
+    def load_instruments_state(self, state: dict[str, Any]) -> None:
+        for name, entry in state.items():
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                continue
+            if entry["type"] == "counter":
+                instrument.value = entry["value"]
+            elif entry["type"] == "gauge":
+                instrument.value = entry["value"]
+            else:
+                instrument.buckets = list(entry["buckets"])
+                instrument.count = entry["count"]
+                instrument.total = entry["total"]
+                instrument.min = entry["min"]
+                instrument.max = entry["max"]

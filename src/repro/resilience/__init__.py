@@ -1,0 +1,75 @@
+"""Fault tolerance for the secure-memory runtime.
+
+Three layers, importable from this package:
+
+* :mod:`repro.resilience.recovery` — integrity-violation recovery
+  (retry with backoff, transient/persistent classification, halt /
+  quarantine / degrade policies);
+* :mod:`repro.resilience.checkpoint` — versioned, integrity-summed
+  serialization of full machine state for deterministic resume;
+* :mod:`repro.resilience.runner` — the supervised sweep runner
+  (subprocess isolation, timeouts, retry, partial results).
+
+``checkpoint`` and ``runner`` import the heavy core/sim layers at module
+scope, which would cycle with ``secure_memory``'s eager import of
+``recovery`` — so their names resolve lazily (PEP 562).
+"""
+
+from __future__ import annotations
+
+from repro.resilience.recovery import (
+    QuarantinedPageError,
+    RecoveryConfig,
+    RecoveryController,
+    RecoveryEvent,
+    RecoveryHalted,
+    RecoveryPolicy,
+    RecoveryStats,
+    backoff_delay,
+)
+
+_CHECKPOINT_NAMES = frozenset({
+    "CHECKPOINT_MAGIC",
+    "CheckpointError",
+    "checkpoint_simulation",
+    "checkpoint_system",
+    "config_from_state",
+    "config_state",
+    "dumps",
+    "load_checkpoint",
+    "load_simulation",
+    "loads",
+    "restore_system",
+    "save_checkpoint",
+    "trace_digest",
+})
+
+_RUNNER_NAMES = frozenset({
+    "CellResult",
+    "SweepCell",
+    "SweepReport",
+    "run_many",
+})
+
+__all__ = [
+    "QuarantinedPageError",
+    "RecoveryConfig",
+    "RecoveryController",
+    "RecoveryEvent",
+    "RecoveryHalted",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "backoff_delay",
+    *sorted(_CHECKPOINT_NAMES),
+    *sorted(_RUNNER_NAMES),
+]
+
+
+def __getattr__(name: str):
+    if name in _CHECKPOINT_NAMES:
+        from repro.resilience import checkpoint
+        return getattr(checkpoint, name)
+    if name in _RUNNER_NAMES:
+        from repro.resilience import runner
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,263 @@
+"""Versioned, integrity-summed checkpoints of full machine state.
+
+A checkpoint is a small binary container::
+
+    magic (8 B) | payload length (8 B, big-endian) | sha256 (32 B) | zlib JSON
+
+The JSON body is ``{"kind": ..., "version": 1, "state": ...}`` where
+``state`` is a *tagged* encoding of the component ``state_dict()`` trees:
+bytes/bytearray become hex strings, tuples/sets/non-string-keyed dicts get
+explicit ``"__tuple"``/``"__set"``/``"__dict"`` wrappers, and everything
+else must already be JSON-native.  The encoding is deliberately canonical —
+sets are sorted, dict insertion order is preserved through a round-trip —
+so ``save → load → save`` reproduces the identical byte stream, which the
+checkpoint property tests assert for every preset.
+
+``loads`` verifies the magic, the declared length, and the SHA-256 of the
+compressed payload before touching the JSON, so a truncated or bit-flipped
+checkpoint file fails loudly with :class:`CheckpointError` instead of
+resuming a subtly wrong simulation.
+
+Trust model note: a functional-system checkpoint contains the simulated
+machine's *secrets* (counter values, Merkle state, plaintext DRAM image).
+The digest detects corruption, not tampering — treat checkpoint files with
+the same trust as the process memory they snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import zlib
+from typing import Any
+
+from repro.auth.policies import AuthPolicy
+from repro.core.config import (
+    AuthMode,
+    CounterOrg,
+    EncryptionMode,
+    RecoveryConfig,
+    RecoveryPolicy,
+    SecureMemoryConfig,
+)
+
+CHECKPOINT_MAGIC = b"RPRCKPT1"
+_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be encoded, decoded, or safely applied."""
+
+
+# -- tagged JSON codec --------------------------------------------------------
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes": value.hex()}
+    if isinstance(value, bytearray):
+        return {"__bytearray": value.hex()}
+    if isinstance(value, tuple):
+        return {"__tuple": [_encode(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        # canonical order even for unorderable encodings (e.g. tuples)
+        return {"__set": sorted(
+            (_encode(item) for item in value),
+            key=lambda encoded: json.dumps(encoded, sort_keys=True,
+                                           allow_nan=True))}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) and not key.startswith("__")
+               for key in value):
+            return {key: _encode(item) for key, item in value.items()}
+        return {"__dict": [[_encode(key), _encode(item)]
+                           for key, item in value.items()]}
+    if isinstance(value, list):
+        return [_encode(item) for item in value]
+    raise CheckpointError(
+        f"cannot checkpoint value of type {type(value).__name__}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__bytes" in value:
+            return bytes.fromhex(value["__bytes"])
+        if "__bytearray" in value:
+            return bytearray.fromhex(value["__bytearray"])
+        if "__tuple" in value:
+            return tuple(_decode(item) for item in value["__tuple"])
+        if "__set" in value:
+            return {_decode(item) for item in value["__set"]}
+        if "__dict" in value:
+            return {_decode(key): _decode(item)
+                    for key, item in value["__dict"]}
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def dumps(payload: Any, kind: str) -> bytes:
+    """Serialize a state tree into the checkpoint container format."""
+    body = json.dumps(
+        {"kind": kind, "version": _VERSION, "state": _encode(payload)},
+        separators=(",", ":"), allow_nan=True,
+    ).encode("utf-8")
+    compressed = zlib.compress(body, 6)
+    digest = hashlib.sha256(compressed).digest()
+    return (CHECKPOINT_MAGIC
+            + len(compressed).to_bytes(8, "big")
+            + digest
+            + compressed)
+
+
+def loads(blob: bytes, kind: str | None = None) -> Any:
+    """Verify and decode a checkpoint container; the inverse of ``dumps``."""
+    header = len(CHECKPOINT_MAGIC) + 8 + 32
+    if len(blob) < header or not blob.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError("not a checkpoint (bad magic)")
+    length = int.from_bytes(blob[8:16], "big")
+    digest = blob[16:48]
+    compressed = blob[48:]
+    if len(compressed) != length:
+        raise CheckpointError(
+            f"truncated checkpoint: expected {length} payload bytes, "
+            f"got {len(compressed)}")
+    if hashlib.sha256(compressed).digest() != digest:
+        raise CheckpointError("checkpoint integrity digest mismatch")
+    try:
+        body = json.loads(zlib.decompress(compressed))
+    except (zlib.error, ValueError) as exc:
+        raise CheckpointError(f"corrupt checkpoint payload: {exc}") from exc
+    if body.get("version") != _VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {body.get('version')!r}")
+    if kind is not None and body.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint kind {body.get('kind')!r} != expected {kind!r}")
+    return _decode(body["state"])
+
+
+def save_checkpoint(path: str, blob: bytes) -> None:
+    """Write a checkpoint atomically (tmp file + rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str, kind: str | None = None) -> Any:
+    """Read and verify a checkpoint file written by :func:`save_checkpoint`."""
+    with open(path, "rb") as handle:
+        return loads(handle.read(), kind=kind)
+
+
+# -- configuration (de)serialization -----------------------------------------
+
+
+_CONFIG_ENUMS = {
+    "encryption": EncryptionMode,
+    "counter_org": CounterOrg,
+    "auth": AuthMode,
+    "auth_policy": AuthPolicy,
+}
+
+
+def config_state(config: SecureMemoryConfig) -> dict:
+    """A JSON-able snapshot of every config field (enums by value)."""
+    state: dict = {}
+    for spec in dataclasses.fields(config):
+        value = getattr(config, spec.name)
+        if isinstance(value, RecoveryConfig):
+            value = {
+                field.name: (getattr(value, field.name).value
+                             if isinstance(getattr(value, field.name),
+                                           enum.Enum)
+                             else getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            }
+        elif isinstance(value, enum.Enum):
+            value = value.value
+        state[spec.name] = value
+    return state
+
+
+def config_from_state(state: dict) -> SecureMemoryConfig:
+    """Rebuild a :class:`SecureMemoryConfig` from :func:`config_state`."""
+    kwargs = dict(state)
+    for name, enum_cls in _CONFIG_ENUMS.items():
+        if name in kwargs:
+            kwargs[name] = enum_cls(kwargs[name])
+    if "recovery" in kwargs:
+        recovery = dict(kwargs["recovery"])
+        recovery["policy"] = RecoveryPolicy(recovery["policy"])
+        kwargs["recovery"] = RecoveryConfig(**recovery)
+    return SecureMemoryConfig(**kwargs)
+
+
+# -- whole-machine checkpoints ------------------------------------------------
+
+
+def checkpoint_system(system) -> bytes:
+    """Checkpoint a functional :class:`SecureMemorySystem`."""
+    return dumps({"config": config_state(system.config),
+                  "system": system.state_dict()}, kind="system")
+
+
+def restore_system(system, blob: bytes) -> None:
+    """Restore a functional system from :func:`checkpoint_system` output.
+
+    The target must be constructed from the same configuration (and, for a
+    meaningful restore, the same base key) as the checkpointed one.
+    """
+    payload = loads(blob, kind="system")
+    saved = payload["config"]
+    current = config_state(system.config)
+    if saved != current:
+        raise CheckpointError(
+            "checkpoint was taken under a different configuration "
+            f"({saved.get('name')!r} != {current.get('name')!r} or "
+            "field-level differences)")
+    system.load_state(payload["system"])
+
+
+def trace_digest(trace) -> str:
+    """SHA-256 fingerprint of a workload trace (resume-compatibility check)."""
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode("utf-8"))
+    digest.update(b"\x00")
+    for gap, write, addr in zip(trace.gaps, trace.writes, trace.addrs):
+        digest.update(f"{gap},{1 if write else 0},{addr};".encode("ascii"))
+    return digest.hexdigest()
+
+
+def checkpoint_simulation(processor, loop, meta: dict | None = None) -> bytes:
+    """Checkpoint a timing simulation mid-run.
+
+    ``processor`` is a :class:`repro.sim.processor.Processor`; ``loop`` the
+    :class:`repro.sim.processor.LoopState` captured at a reference
+    boundary; ``meta`` carries resume-compatibility facts (app, refs,
+    warmup, trace digest) that :func:`load_simulation` hands back for the
+    caller to validate.
+    """
+    return dumps({
+        "config": config_state(processor.config),
+        "processor": processor.state_dict(),
+        "loop": loop.to_dict(),
+        "meta": dict(meta or {}),
+    }, kind="simulation")
+
+
+def load_simulation(blob: bytes) -> dict:
+    """Decode a simulation checkpoint into its payload dict.
+
+    Returns ``{"config", "processor", "loop", "meta"}``; the caller
+    validates ``meta``/``config`` against the run being resumed and applies
+    ``processor``/``loop`` via ``Processor.load_state`` and
+    ``LoopState.from_dict``.
+    """
+    return loads(blob, kind="simulation")

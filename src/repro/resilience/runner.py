@@ -1,0 +1,258 @@
+"""Supervised experiment runner: subprocess isolation, timeout, retry.
+
+``run_many`` executes a sweep of experiment *cells* one at a time, each in
+its own spawned worker process, so a crash (segfault, ``os._exit``, OOM
+kill) or a hang in one cell can never take down the sweep: the supervisor
+notices the dead pipe or the expired wall-clock budget, retries the cell
+with exponential backoff up to its retry budget, and records the final
+verdict.  A SIGINT (Ctrl-C) drains gracefully — the in-flight worker is
+terminated, every remaining cell is marked ``skipped``, and the partial
+:class:`SweepReport` is still returned so the caller can persist what
+finished.
+
+Cells carry an ``inject`` test hook (``"crash"``/``"hang"``, optionally
+suffixed ``-always``) that makes the *worker* misbehave before touching the
+simulator; the CI ``resilience`` job uses it to prove the supervisor's
+retry and timeout paths against real subprocesses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CellResult",
+    "SweepCell",
+    "SweepReport",
+    "run_many",
+]
+
+_INJECT_KINDS = ("crash", "hang")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One experiment in a sweep: a scheme preset bound to a workload."""
+
+    scheme: str
+    app: str = "swim"
+    refs: int = 20_000
+    warmup_refs: int | None = None
+    #: test hook: make the worker misbehave ("crash" / "hang" fail the
+    #: first attempt only; "crash-always" / "hang-always" every attempt)
+    inject: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.inject is not None:
+            base = (self.inject[:-len("-always")]
+                    if self.inject.endswith("-always") else self.inject)
+            if base not in _INJECT_KINDS:
+                raise ValueError(
+                    f"unknown inject {self.inject!r}; choose from "
+                    f"{_INJECT_KINDS} (optionally suffixed '-always')")
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheme}/{self.app}"
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "app": self.app,
+            "refs": self.refs,
+            "warmup_refs": self.warmup_refs,
+            "inject": self.inject,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepCell":
+        return cls(
+            scheme=data["scheme"],
+            app=data.get("app", "swim"),
+            refs=data.get("refs", 20_000),
+            warmup_refs=data.get("warmup_refs"),
+            inject=data.get("inject"),
+        )
+
+
+@dataclass
+class CellResult:
+    """Final verdict for one cell after all attempts."""
+
+    cell: SweepCell
+    status: str                      # "ok" | "failed" | "timeout" | "skipped"
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: str | None = None
+    #: the worker's ``ExperimentResult.to_dict()`` when status is "ok"
+    result: dict | None = None
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell.to_dict(),
+            "status": self.status,
+            "attempts": self.attempts,
+            "retried": self.retried,
+            "elapsed": self.elapsed,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, including partial results."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (not self.interrupted
+                and all(cell.status == "ok" for cell in self.cells))
+
+    def counts(self) -> dict:
+        out: dict = {}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": [cell.to_dict() for cell in self.cells],
+            "counts": self.counts(),
+            "interrupted": self.interrupted,
+            "ok": self.ok,
+        }
+
+
+def _worker(conn, cell_dict: dict, attempt: int) -> None:
+    """Run one cell inside a spawned process; report over the pipe.
+
+    Runs with SIGINT ignored: the supervisor owns interrupt handling, and a
+    terminal Ctrl-C is delivered to the whole process group — the worker
+    must not die mid-send and turn a graceful drain into a spurious crash.
+    """
+    import os
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    cell = SweepCell.from_dict(cell_dict)
+    if cell.inject is not None:
+        always = cell.inject.endswith("-always")
+        base = cell.inject[:-len("-always")] if always else cell.inject
+        if always or attempt == 1:
+            if base == "crash":
+                os._exit(17)
+            while True:                    # "hang": wait for terminate()
+                time.sleep(3600)
+    try:
+        from repro import api
+
+        result = api.run(cell.scheme, cell.app, refs=cell.refs,
+                         warmup_refs=cell.warmup_refs)
+        conn.send({"ok": True, "result": result.to_dict()})
+    except Exception as exc:            # noqa: BLE001 — verdict, not handling
+        conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def run_many(cells, *, timeout: float | None = None, retries: int = 1,
+             retry_backoff: float = 0.25, progress=None) -> SweepReport:
+    """Run every cell under supervision; always returns a report.
+
+    ``timeout`` is the per-attempt wall-clock budget in seconds (``None``
+    waits forever); ``retries`` is how many *extra* attempts a crashed or
+    timed-out cell gets; ``retry_backoff`` seconds doubles per retry.
+    ``progress`` (if given) is called with each :class:`CellResult` as it
+    finalizes.  A ``KeyboardInterrupt`` terminates the in-flight worker,
+    marks unfinished cells ``skipped``, and returns the partial report
+    (``interrupted=True``) instead of propagating.
+    """
+    cells = [cell if isinstance(cell, SweepCell)
+             else SweepCell.from_dict(dict(cell)) for cell in cells]
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    context = multiprocessing.get_context("spawn")
+    report = SweepReport()
+    process = None
+    current: SweepCell | None = None
+    try:
+        for cell in cells:
+            current = cell
+            attempts = 0
+            status = "failed"
+            error: str | None = None
+            payload: dict | None = None
+            started = time.monotonic()
+            while attempts <= retries:
+                attempts += 1
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_worker, args=(sender, cell.to_dict(), attempts),
+                    daemon=True)
+                process.start()
+                sender.close()
+                process.join(timeout)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(5)
+                    status = "timeout"
+                    error = (f"worker exceeded the {timeout}s wall-clock "
+                             f"budget and was terminated")
+                else:
+                    # poll() is also true at EOF (worker died pipe-first),
+                    # so the recv itself decides between verdict and crash.
+                    message = None
+                    if receiver.poll():
+                        try:
+                            message = receiver.recv()
+                        except EOFError:
+                            message = None
+                    if message is not None and message.get("ok"):
+                        status, payload, error = "ok", message["result"], None
+                    elif message is not None:
+                        status, error = "failed", message.get("error")
+                    else:
+                        status = "failed"
+                        error = (f"worker died without reporting "
+                                 f"(exit code {process.exitcode})")
+                receiver.close()
+                process = None
+                if status == "ok":
+                    break
+                if attempts <= retries:
+                    time.sleep(retry_backoff * (2 ** (attempts - 1)))
+            result = CellResult(cell=cell, status=status, attempts=attempts,
+                                elapsed=time.monotonic() - started,
+                                error=error, result=payload)
+            report.cells.append(result)
+            current = None
+            if progress is not None:
+                progress(result)
+    except KeyboardInterrupt:
+        report.interrupted = True
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(5)
+        done = len(report.cells)
+        if current is not None and (not report.cells
+                                    or report.cells[-1].cell is not current):
+            report.cells.append(CellResult(
+                cell=current, status="skipped",
+                error="interrupted while running"))
+            done += 1
+        # `cells` is materialized above, so slicing past the finished
+        # prefix marks exactly the never-started tail.
+        for untouched in cells[done:]:
+            report.cells.append(CellResult(
+                cell=untouched, status="skipped",
+                error="interrupted before start"))
+    return report

@@ -6,10 +6,11 @@ from repro.sim.metrics import (
     geometric_mean,
     run_normalized,
 )
-from repro.sim.processor import Processor, SimResult, simulate
+from repro.sim.processor import LoopState, Processor, SimResult, simulate
 from repro.sim.timing_memory import MissTiming, TimingSecureMemory
 
 __all__ = [
+    "LoopState",
     "MissTiming",
     "NormalizedResult",
     "Processor",

@@ -46,6 +46,49 @@ DEFAULT_MSHRS = 8
 
 
 @dataclass
+class LoopState:
+    """The trace loop's scalar state at a reference boundary.
+
+    Everything :meth:`Processor.run` keeps outside the memory hierarchy:
+    captured by the checkpoint callback, handed back via ``resume=`` so a
+    resumed run continues exactly where the checkpointed one stopped.
+    ``outstanding`` mirrors the bounded out-of-order window as
+    ``[completion_cycle, insn_index]`` pairs.
+    """
+
+    cycle: float = 0.0
+    insns: int = 0
+    writebacks: int = 0
+    cycle0: float = 0.0
+    insns0: int = 0
+    next_ref: int = 0
+    outstanding: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "insns": self.insns,
+            "writebacks": self.writebacks,
+            "cycle0": self.cycle0,
+            "insns0": self.insns0,
+            "next_ref": self.next_ref,
+            "outstanding": [list(entry) for entry in self.outstanding],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopState":
+        return cls(
+            cycle=data["cycle"],
+            insns=data["insns"],
+            writebacks=data["writebacks"],
+            cycle0=data["cycle0"],
+            insns0=data["insns0"],
+            next_ref=data["next_ref"],
+            outstanding=[list(entry) for entry in data["outstanding"]],
+        )
+
+
+@dataclass
 class SimResult:
     """Outcome of one timing-simulation run."""
 
@@ -100,13 +143,24 @@ class Processor:
         self.metrics.register("l1", self.l1.stats)
         self.metrics.register("l2", self.l2.stats)
 
-    def run(self, trace: Trace, warmup_refs: int = 0) -> SimResult:
+    def run(self, trace: Trace, warmup_refs: int = 0, *,
+            resume: LoopState | None = None,
+            checkpoint_every: int | None = None,
+            on_checkpoint=None) -> SimResult:
         """Execute a trace to completion and return timing statistics.
 
         ``warmup_refs`` references are simulated first to warm the caches
         (the paper fast-forwards 5 billion instructions before measuring);
         statistics and the cycle/instruction baselines reset at the
         boundary, so the result reflects warm-cache behaviour only.
+
+        ``resume`` continues a run from a :class:`LoopState` captured by a
+        previous checkpoint (the caches and memory system must have been
+        restored first); ``checkpoint_every``/``on_checkpoint`` invoke the
+        callback with the current :class:`LoopState` every N references.
+        Checkpoints fire at the top of an iteration, before the reference
+        executes, so a resumed run replays the exact remaining stream and
+        finishes with bit-identical statistics.
         """
         l1 = self.l1
         l2 = self.l2
@@ -115,19 +169,28 @@ class Processor:
         cpi = 1.0 / self.issue_width
         block_mask = ~(self.config.block_size - 1)
 
-        cycle = 0.0
-        insns = 0
-        writebacks = 0
-        cycle0 = 0.0
-        insns0 = 0
+        state = resume if resume is not None else LoopState()
+        cycle = state.cycle
+        insns = state.insns
+        writebacks = state.writebacks
+        cycle0 = state.cycle0
+        insns0 = state.insns0
+        start = state.next_ref
         # outstanding load misses: (completion_cycle, insn_index_at_issue)
-        outstanding: deque[tuple[float, int]] = deque()
+        outstanding: deque[tuple[float, int]] = deque(
+            (entry[0], entry[1]) for entry in state.outstanding)
 
         gaps = trace.gaps
         writes = trace.writes
         addrs = trace.addrs
 
-        for i in range(len(addrs)):
+        for i in range(start, len(addrs)):
+            if (checkpoint_every and on_checkpoint is not None
+                    and i and i != start and i % checkpoint_every == 0):
+                on_checkpoint(LoopState(
+                    cycle=cycle, insns=insns, writebacks=writebacks,
+                    cycle0=cycle0, insns0=insns0, next_ref=i,
+                    outstanding=[list(entry) for entry in outstanding]))
             if i == warmup_refs and warmup_refs:
                 cycle0 = cycle
                 insns0 = insns
@@ -191,6 +254,20 @@ class Processor:
             writebacks=writebacks,
             memory=memory,
         )
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "memory": self.memory.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.l1.load_state(state["l1"])
+        self.l2.load_state(state["l2"])
+        self.memory.load_state(state["memory"])
 
 
 def simulate(config: SecureMemoryConfig, trace: Trace,

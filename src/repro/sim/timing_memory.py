@@ -29,6 +29,7 @@ engine latencies.  Timing paths implemented:
 from __future__ import annotations
 
 import dataclasses
+import random
 from dataclasses import dataclass
 
 from repro.auth.codes import TreeGeometry, build_geometry
@@ -51,8 +52,13 @@ from repro.engines.sha_engine import SHA1Engine
 from repro.memory.bus import MemoryBus
 from repro.memory.cache import Cache
 from repro.obs.attribution import MissRecord, PathTime
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    fields_state,
+    load_fields_state,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.recovery import RecoveryStats, backoff_delay
 
 #: attribution labels for a Merkle-node transfer: queue, wire, and DRAM
 #: time of a tree fetch all accrue to the tree-walk bucket
@@ -135,6 +141,14 @@ class TimingSecureMemory:
         self._counter_inflight: dict[int, float] = {}
         self._num_data_blocks = config.memory_size // self.block_size
 
+        # Recovery timing: the functional layer decides *whether* retries
+        # happen; this layer charges *when* they finish (backoff + bus).
+        self.recovery_stats: RecoveryStats | None = None
+        self._recovery_rng: random.Random | None = None
+        if config.recovery.enabled:
+            self.recovery_stats = RecoveryStats()
+            self._recovery_rng = random.Random(config.recovery.seed)
+
         # Unified metrics: every stats dataclass below the L2 registers
         # here, so ``metrics.snapshot()`` sees them all under dotted names
         # and ``reset_stats()`` can never miss a newly added counter.
@@ -152,6 +166,8 @@ class TimingSecureMemory:
         scheme_stats = getattr(self.scheme, "stats", None)
         if dataclasses.is_dataclass(scheme_stats):
             self.metrics.register("scheme", scheme_stats)
+        if self.recovery_stats is not None:
+            self.metrics.register("recovery", self.recovery_stats)
         self._lat_hist = self.metrics.histogram("miss.auth_latency")
 
         # Fan the tracer out to the shared resources so bus transfers and
@@ -749,3 +765,83 @@ class TimingSecureMemory:
             # (and the core behind it) stalls for the whole re-encryption.
             return max(stall_until, t)
         return stall_until
+
+    # -- recovery timing -------------------------------------------------------
+
+    def charge_recovery(self, now: float, attempts: int,
+                        path: PathTime | None = None) -> float:
+        """Charge ``attempts`` integrity-retry re-fetches starting at ``now``.
+
+        Each retry waits out its exponential-backoff delay (same schedule
+        as the functional :class:`~repro.resilience.RecoveryController`,
+        seeded independently) and then re-reads the block over the bus.
+        Returns when the last re-read's data arrives.
+        """
+        if self._recovery_rng is None:
+            raise RuntimeError("recovery is not enabled in this config")
+        cfg = self.config.recovery
+        t = now
+        backoff = 0.0
+        for attempt in range(1, attempts + 1):
+            delay = backoff_delay(cfg, attempt, self._recovery_rng)
+            backoff += delay
+            t = self._bus_read(t + delay, self.block_size, path=path)
+        self.recovery_stats.violations += 1
+        self.recovery_stats.retries += attempts
+        self.recovery_stats.backoff_cycles += backoff
+        if self.tracer.enabled:
+            self.tracer.span("recovery", "retries", now, t,
+                             attempts=attempts, backoff_cycles=backoff)
+        return t
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable timing state (the shared L2 is the processor's)."""
+        state: dict = {
+            "stats": fields_state(self.stats),
+            "bus": self.bus.state_dict(),
+            "aes": self.aes.state_dict(),
+            "sha": self.sha.state_dict(),
+            "written": set(self._written),
+            "counter_inflight": dict(self._counter_inflight),
+            "rsrs": self.rsr_file.state_dict(),
+            "instruments": self.metrics.instruments_state(),
+        }
+        if self.counter_cache is not None:
+            state["counter_cache"] = self.counter_cache.state_dict()
+        if self.scheme is not None:
+            state["scheme"] = self.scheme.state_dict()
+        if self.node_cache is not None and self.node_cache is not self.l2:
+            # With an injected L2 the node cache *is* the L2, which the
+            # processor checkpoint owns; saving it here would restore twice.
+            state["node_cache"] = self.node_cache.state_dict()
+        if self._recovery_rng is not None:
+            state["recovery"] = {
+                "rng": self._recovery_rng.getstate(),
+                "stats": fields_state(self.recovery_stats),
+            }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        load_fields_state(self.stats, state["stats"])
+        self.bus.load_state(state["bus"])
+        self.aes.load_state(state["aes"])
+        self.sha.load_state(state["sha"])
+        self._written = set(state["written"])
+        self._counter_inflight = dict(state["counter_inflight"])
+        self.rsr_file.load_state(state["rsrs"])
+        self.metrics.load_instruments_state(state["instruments"])
+        if self.counter_cache is not None:
+            self.counter_cache.load_state(state["counter_cache"])
+        if self.scheme is not None:
+            self.scheme.load_state(state["scheme"])
+        if "node_cache" in state and self.node_cache is not None:
+            self.node_cache.load_state(state["node_cache"])
+        if self._recovery_rng is not None and "recovery" in state:
+            rng_state = state["recovery"]["rng"]
+            self._recovery_rng.setstate(
+                (rng_state[0], tuple(rng_state[1]), rng_state[2])
+            )
+            load_fields_state(self.recovery_stats,
+                              state["recovery"]["stats"])

@@ -49,6 +49,10 @@ class FaultKind(enum.Enum):
     REPLAY = "replay"
     COUNTER_ROLLBACK = "counter-rollback"
     NODE_CORRUPT = "node-corrupt"
+    #: a *transient* corruption: the next ``duration`` reads of the target
+    #: return a bit-flipped view, but the stored image is never mutated —
+    #: a re-read past the glitch sees good bytes (bus noise, not tampering)
+    TRANSIENT_FLIP = "transient-flip"
 
 
 #: Region names understood by triggers and target selection.  ``data`` is
@@ -105,6 +109,7 @@ class FaultSpec:
     address: int | None = None
     partner: int | None = None      # second address for SPLICE
     bits: int = 1
+    duration: int = 1               # corrupted reads for TRANSIENT_FLIP
 
     def to_dict(self) -> dict:
         return {
@@ -113,6 +118,7 @@ class FaultSpec:
             "address": self.address,
             "partner": self.partner,
             "bits": self.bits,
+            "duration": self.duration,
         }
 
     @classmethod
@@ -124,6 +130,7 @@ class FaultSpec:
             address=data.get("address"),
             partner=data.get("partner"),
             bits=data.get("bits", 1),
+            duration=data.get("duration", 1),
         )
 
 
@@ -175,6 +182,9 @@ class AdversarialDRAM(MainMemory):
         self.events: list[FaultEvent] = []
         self.skipped: list[FaultSpec] = []
         self._history: dict[int, list[bytes]] = {}
+        # address -> [corrupted image, remaining corrupted reads]; consumed
+        # by read_block without ever touching the stored image
+        self._transient: dict[int, list] = {}
         self._regions: dict[str, tuple[int, int]] = {
             "any": (0, self.size_bytes)
         }
@@ -241,7 +251,16 @@ class AdversarialDRAM(MainMemory):
     def read_block(self, address: int) -> bytes:
         self.accesses += 1
         self._fire_matching("read", address)
-        return super().read_block(address)
+        data = super().read_block(address)
+        transient = self._transient.get(address)
+        if transient is not None:
+            image, remaining = transient
+            if remaining <= 1:
+                del self._transient[address]
+            else:
+                transient[1] = remaining - 1
+            return image
+        return data
 
     def write_block(self, address: int, data: bytes) -> None:
         self.accesses += 1
@@ -300,6 +319,8 @@ class AdversarialDRAM(MainMemory):
         kind = spec.kind
         if kind is FaultKind.BIT_FLIP:
             return self._apply_flip(spec, "data")
+        if kind is FaultKind.TRANSIENT_FLIP:
+            return self._apply_transient(spec, "data")
         if kind is FaultKind.NODE_CORRUPT:
             return self._apply_flip(spec, "code")
         if kind is FaultKind.SPLICE:
@@ -325,6 +346,30 @@ class AdversarialDRAM(MainMemory):
             flipped_bits=positions,
             detail=f"flipped {len(positions)} bit(s) at {address:#x} "
                    f"({region} region)",
+        )
+
+    def _apply_transient(self, spec: FaultSpec, region: str) -> FaultEvent:
+        """Arm a corrupted *view* of a block for its next reads.
+
+        The stored image is untouched — only the data returned on the next
+        ``duration`` reads is flipped, modelling a bus/transmission glitch
+        that a retry would not reproduce.
+        """
+        address = self._pick_target(spec, region)
+        image = bytearray(self._blocks.get(address,
+                                           bytes(self.block_size)))
+        nbits = max(1, spec.bits)
+        positions = tuple(sorted(self.rng.sample(
+            range(len(image) * 8), min(nbits, len(image) * 8))))
+        for bit in positions:
+            image[bit // 8] ^= 1 << (bit % 8)
+        duration = max(1, spec.duration)
+        self._transient[address] = [bytes(image), duration]
+        return FaultEvent(
+            spec=spec, address=address, access_index=self.accesses,
+            flipped_bits=positions,
+            detail=f"transient {len(positions)}-bit glitch at {address:#x} "
+                   f"for {duration} read(s) ({region} region)",
         )
 
     def _apply_splice(self, spec: FaultSpec) -> FaultEvent:

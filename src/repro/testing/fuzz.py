@@ -18,6 +18,7 @@ failure seen in CI replays locally from the JSON artifact alone.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.config import PRESETS
@@ -41,6 +42,22 @@ FAULT_ROTATION = (
     FaultKind.NODE_CORRUPT,
 )
 
+#: Rotation used when recovery is enabled: transient glitches (which the
+#: recovery controller must heal) interleaved with every persistent kind
+#: (which must still end in the configured policy's loud verdict).
+FAULT_ROTATION_RECOVERY = (
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.BIT_FLIP,
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.REPLAY,
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.SPLICE,
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.COUNTER_ROLLBACK,
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.NODE_CORRUPT,
+)
+
 #: Outcomes that make a fuzz run fail.
 FAILURE_OUTCOMES = (FaultOutcome.MISSED, FaultOutcome.SPURIOUS)
 
@@ -53,13 +70,19 @@ class FuzzReport:
     campaigns: int
     presets: list[str]
     weaken: str | None
+    recover: str | None = None
     injected: int = 0
     detected: int = 0
+    recovered: int = 0
     neutralized: int = 0
     missed: int = 0
     unprotected: int = 0
     not_triggered: int = 0
     spurious: int = 0
+    #: transient glitches that recovery *should* have healed but instead
+    #: escalated to a violation on an integrity-promising preset
+    unrecovered_transient: int = 0
+    timed_out: bool = False
     scenarios_run: int = 0
     per_preset: dict = field(default_factory=dict)
     per_kind: dict = field(default_factory=dict)
@@ -70,16 +93,18 @@ class FuzzReport:
     def ok(self) -> bool:
         """True when nothing slipped past the oracle."""
         return (self.missed == 0 and self.spurious == 0
+                and self.unrecovered_transient == 0
                 and all(check["passed"] for check in self.differential))
 
     def record(self, result: ScenarioResult) -> None:
         self.scenarios_run += 1
         outcome = result.outcome
-        preset = result.scenario.preset
+        scenario = result.scenario
+        preset = scenario.preset
         per_preset = self.per_preset.setdefault(preset, {})
         per_preset[outcome.value] = per_preset.get(outcome.value, 0) + 1
-        if result.scenario.fault is not None:
-            kind = result.scenario.fault.kind.value
+        if scenario.fault is not None:
+            kind = scenario.fault.kind.value
             per_kind = self.per_kind.setdefault(kind, {})
             per_kind[outcome.value] = per_kind.get(outcome.value, 0) + 1
         if outcome is FaultOutcome.NOT_TRIGGERED:
@@ -93,6 +118,11 @@ class FuzzReport:
         self.injected += 1
         if outcome is FaultOutcome.DETECTED:
             self.detected += 1
+            if (scenario.recovery is not None and scenario.fault is not None
+                    and scenario.fault.kind is FaultKind.TRANSIENT_FLIP):
+                self.unrecovered_transient += 1
+        elif outcome is FaultOutcome.RECOVERED:
+            self.recovered += 1
         elif outcome is FaultOutcome.NEUTRALIZED:
             self.neutralized += 1
         elif outcome is FaultOutcome.UNPROTECTED:
@@ -106,15 +136,19 @@ class FuzzReport:
             "campaigns": self.campaigns,
             "presets": self.presets,
             "weaken": self.weaken,
+            "recover": self.recover,
             "scenarios_run": self.scenarios_run,
+            "timed_out": self.timed_out,
             "faults": {
                 "injected": self.injected,
                 "detected": self.detected,
+                "recovered": self.recovered,
                 "neutralized": self.neutralized,
                 "missed": self.missed,
                 "unprotected": self.unprotected,
                 "not_triggered": self.not_triggered,
                 "spurious": self.spurious,
+                "unrecovered_transient": self.unrecovered_transient,
             },
             "per_preset": self.per_preset,
             "per_kind": self.per_kind,
@@ -132,13 +166,21 @@ def campaign_seed(master_seed: int, campaign: int) -> int:
 def run_fuzz(campaigns: int = 20, seed: int = 0, *,
              presets: list[str] | None = None, weaken: str | None = None,
              num_ops: int = 28, shrink: bool = True,
-             mac_bits: int | None = None) -> FuzzReport:
+             mac_bits: int | None = None, recover: str | None = None,
+             timeout: float | None = None) -> FuzzReport:
     """Run seeded fault campaigns plus the kernel differential checks.
 
     ``presets`` defaults to every named preset.  ``weaken`` (e.g.
     ``"no-tree"``) sabotages every system under test while leaving its
     *claimed* guarantee intact — used to demonstrate that the oracle
     reports missed faults against a weakened implementation.
+
+    ``recover`` names a recovery policy (``"halt"``/``"quarantine_page"``);
+    when set, every system under test runs with integrity-violation
+    recovery enabled and the fault rotation interleaves transient glitches
+    with the persistent kinds.  ``timeout`` is a wall-clock budget in
+    seconds: when exceeded, the run stops before the next scenario and the
+    report is marked ``timed_out`` (results so far stay valid).
     """
     if presets is None:
         presets = list(PRESETS)
@@ -147,17 +189,24 @@ def run_fuzz(campaigns: int = 20, seed: int = 0, *,
             if name not in PRESETS:
                 raise KeyError(f"unknown preset {name!r}")
     report = FuzzReport(seed=seed, campaigns=campaigns,
-                        presets=list(presets), weaken=weaken)
+                        presets=list(presets), weaken=weaken,
+                        recover=recover)
     report.differential = [
         check.to_dict() for check in run_differential_checks(seed)
     ]
+    rotation = FAULT_ROTATION_RECOVERY if recover else FAULT_ROTATION
+    deadline = (time.monotonic() + timeout) if timeout else None
     for campaign in range(campaigns):
-        kind = FAULT_ROTATION[campaign % len(FAULT_ROTATION)]
+        kind = rotation[campaign % len(rotation)]
         schedule_seed = campaign_seed(seed, campaign)
         for preset in presets:
+            if deadline is not None and time.monotonic() >= deadline:
+                report.timed_out = True
+                return report
             scenario = generate_scenario(
                 preset, schedule_seed, fault_kind=kind,
                 num_ops=num_ops, weaken=weaken, mac_bits=mac_bits,
+                recovery=recover,
             )
             result = run_scenario(scenario)
             report.record(result)
@@ -178,10 +227,13 @@ def format_report(report: FuzzReport) -> str:
     lines = [
         f"fuzz: {report.campaigns} campaign(s), seed {report.seed}, "
         f"{len(report.presets)} preset(s)"
-        + (f", weaken={report.weaken}" if report.weaken else ""),
-        f"  scenarios run  : {report.scenarios_run}",
+        + (f", weaken={report.weaken}" if report.weaken else "")
+        + (f", recover={report.recover}" if report.recover else ""),
+        f"  scenarios run  : {report.scenarios_run}"
+        + ("  (TIMED OUT — partial)" if report.timed_out else ""),
         f"  faults injected: {report.injected}",
         f"    detected     : {report.detected}",
+        f"    recovered    : {report.recovered}",
         f"    neutralized  : {report.neutralized}",
         f"    unprotected  : {report.unprotected}  "
         f"(scheme makes no integrity claim)",
@@ -189,6 +241,9 @@ def format_report(report: FuzzReport) -> str:
         f"  not triggered  : {report.not_triggered}",
         f"  spurious       : {report.spurious}",
     ]
+    if report.recover:
+        lines.append("  unrecovered transient : "
+                     f"{report.unrecovered_transient}")
     for check in report.differential:
         status = "ok" if check["passed"] else "DIVERGED"
         lines.append(f"  differential {check['name']:<28}: {status}"

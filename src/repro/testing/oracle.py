@@ -15,6 +15,9 @@ Each fired fault is then classified:
 
 * ``detected``      — the system raised ``IntegrityViolation`` after the
   fault fired (the paper's security claim);
+* ``recovered``     — recovery was enabled and a transient fault was healed
+  by bounded re-fetch: no violation escaped, every read matched the model,
+  and the recovery controller logged at least one transient recovery;
 * ``neutralized``   — no violation, and every read (including the cold
   sweep) matched the model: the fault provably had no effect on the
   plaintext the victim consumes;
@@ -45,6 +48,8 @@ from repro.core.config import (
     AuthMode,
     CounterOrg,
     PRESETS,
+    RecoveryConfig,
+    RecoveryPolicy,
     SecureMemoryConfig,
 )
 from repro.core.secure_memory import SecureMemorySystem
@@ -69,6 +74,7 @@ class FaultOutcome(enum.Enum):
     """Classification of one scenario's injected fault."""
 
     DETECTED = "detected"
+    RECOVERED = "recovered"         # transient fault healed by retry
     NEUTRALIZED = "neutralized"
     MISSED = "missed"
     UNPROTECTED = "unprotected"
@@ -104,13 +110,16 @@ def promises_integrity(config: SecureMemoryConfig) -> bool:
     return config.auth is not AuthMode.NONE
 
 
-def campaign_config(preset: str, mac_bits: int | None = None
-                    ) -> SecureMemoryConfig:
+def campaign_config(preset: str, mac_bits: int | None = None,
+                    recovery: str | None = None) -> SecureMemoryConfig:
     """A preset shrunk to campaign geometry.
 
     Caches are small so the schedule's working set actually spills to
     untrusted DRAM, and split-counter minors are narrowed so write storms
-    force real page re-encryptions within a short schedule.
+    force real page re-encryptions within a short schedule.  ``recovery``
+    names a :class:`RecoveryPolicy` value; when given, integrity-violation
+    recovery is enabled with a retry budget that covers the fuzz harness's
+    transient-glitch durations (1–3 corrupted reads).
     """
     config = PRESETS[preset]
     overrides: dict = {
@@ -123,13 +132,17 @@ def campaign_config(preset: str, mac_bits: int | None = None
         overrides["minor_bits"] = 3
     if mac_bits is not None:
         overrides["mac_bits"] = mac_bits
+    if recovery is not None:
+        overrides["recovery"] = RecoveryConfig(
+            enabled=True, policy=RecoveryPolicy(recovery), max_retries=3)
     return config.with_updates(**overrides)
 
 
 def build_system(scenario: Scenario, rng: random.Random
                  ) -> tuple[SecureMemorySystem, AdversarialDRAM]:
     """Construct the system under test with an adversarial DRAM attached."""
-    config = campaign_config(scenario.preset, scenario.mac_bits)
+    config = campaign_config(scenario.preset, scenario.mac_bits,
+                             scenario.recovery)
     holder: list[AdversarialDRAM] = []
 
     def factory(**kwargs):
@@ -281,15 +294,18 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     except IntegrityViolation as exc:
         violation = str(exc)
 
+    recovered = (system.recovery.stats.transient_recoveries
+                 if system.recovery is not None else 0)
     fired = device.events[0] if device.events else None
-    outcome = _classify(scenario, fired, violation, mismatch)
+    outcome = _classify(scenario, fired, violation, mismatch, recovered)
     return ScenarioResult(scenario=scenario, outcome=outcome, fired=fired,
                           violation=violation, mismatch=mismatch,
                           ops_executed=executed)
 
 
 def _classify(scenario: Scenario, fired: FaultEvent | None,
-              violation: str | None, mismatch: str | None) -> FaultOutcome:
+              violation: str | None, mismatch: str | None,
+              recovered: int = 0) -> FaultOutcome:
     if scenario.fault is None:
         if violation is None and mismatch is None:
             return FaultOutcome.CLEAN
@@ -303,6 +319,8 @@ def _classify(scenario: Scenario, fired: FaultEvent | None,
         if promises_integrity(config):
             return FaultOutcome.MISSED
         return FaultOutcome.UNPROTECTED
+    if fired is not None and recovered > 0:
+        return FaultOutcome.RECOVERED
     return (FaultOutcome.NEUTRALIZED if fired
             else FaultOutcome.NOT_TRIGGERED)
 

@@ -121,6 +121,9 @@ class Scenario:
     device instead.  ``weaken`` names a deliberate sabotage of the system
     under test (currently ``"no-tree"``: the Merkle tree is detached after
     construction) used to prove the oracle catches a weakened system.
+    ``recovery`` names a :class:`~repro.core.config.RecoveryPolicy` value
+    (``"halt"``/``"quarantine_page"``/``"degrade"``); when set, the system
+    under test runs with integrity-violation recovery enabled.
     """
 
     preset: str
@@ -130,6 +133,7 @@ class Scenario:
     fault_at: int | None = None
     mac_bits: int | None = None
     weaken: str | None = None
+    recovery: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -140,6 +144,7 @@ class Scenario:
             "fault_at": self.fault_at,
             "mac_bits": self.mac_bits,
             "weaken": self.weaken,
+            "recovery": self.recovery,
         }
 
     @classmethod
@@ -153,6 +158,7 @@ class Scenario:
             fault_at=data.get("fault_at"),
             mac_bits=data.get("mac_bits"),
             weaken=data.get("weaken"),
+            recovery=data.get("recovery"),
         )
 
     def with_ops(self, ops: tuple[Op, ...],
@@ -163,7 +169,8 @@ class Scenario:
 def generate_scenario(preset: str, seed: int, *,
                       fault_kind: FaultKind | None = None,
                       num_ops: int = 32, weaken: str | None = None,
-                      mac_bits: int | None = None) -> Scenario:
+                      mac_bits: int | None = None,
+                      recovery: str | None = None) -> Scenario:
     """Build one seeded scenario for a preset.
 
     The schedule depends only on ``seed`` (not on the preset), so the same
@@ -176,11 +183,18 @@ def generate_scenario(preset: str, seed: int, *,
     fault = None
     fault_at = None
     if fault_kind is not None:
-        fault = FaultSpec(kind=fault_kind,
-                          bits=rng.choice((1, 2, 5)))
+        bits = rng.choice((1, 2, 5))
+        if fault_kind is FaultKind.TRANSIENT_FLIP:
+            # Extra draw only for the transient kind, so every existing
+            # (persistent) seed still replays bit-for-bit.
+            fault = FaultSpec(kind=fault_kind, bits=bits,
+                              duration=rng.choice((1, 2, 3)))
+        else:
+            fault = FaultSpec(kind=fault_kind, bits=bits)
         # Inject in the second half of the schedule so enough state has
         # reached DRAM to give the fault a target.
         low = max(1, num_ops // 2)
         fault_at = rng.randrange(low, num_ops) if num_ops > low else low
     return Scenario(preset=preset, seed=seed, ops=ops, fault=fault,
-                    fault_at=fault_at, mac_bits=mac_bits, weaken=weaken)
+                    fault_at=fault_at, mac_bits=mac_bits, weaken=weaken,
+                    recovery=recovery)

@@ -1,0 +1,164 @@
+"""Checkpoint container tests: codec, integrity, cross-preset round trips."""
+
+import random
+
+import pytest
+
+from repro.core.config import PRESETS, RecoveryConfig, RecoveryPolicy
+from repro.core.secure_memory import SecureMemorySystem
+from repro.resilience import (
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    checkpoint_system,
+    config_from_state,
+    config_state,
+    dumps,
+    load_checkpoint,
+    loads,
+    restore_system,
+    save_checkpoint,
+    trace_digest,
+)
+from repro.workloads import spec_trace
+
+PROTECTED = 64 * 1024
+
+
+class TestCodec:
+    CASES = [
+        None, True, False, 0, -17, 3.5, float("inf"), "text", b"",
+        b"\x00\xffbytes", bytearray(b"\x01\x02"), (1, "two", b"\x03"),
+        {1: "int-keyed", (2, 3): "tuple-keyed"},
+        {"plain": {"nested": [1, 2, {"deep": b"\xaa"}]}},
+        {(0, 1), (2, 3)}, frozenset({"a", "b"}),
+        [1, [2, [3, (4,)]]],
+    ]
+
+    @pytest.mark.parametrize("value", CASES,
+                             ids=[repr(c)[:40] for c in CASES])
+    def test_value_roundtrip(self, value):
+        blob = dumps(value, kind="test")
+        out = loads(blob, kind="test")
+        if isinstance(value, frozenset):
+            assert out == set(value)     # sets come back as plain sets
+        else:
+            assert out == value
+            assert type(out) is type(value) or isinstance(value, bool)
+
+    def test_save_load_save_is_byte_identical(self):
+        payload = {"blocks": {0: b"\x01" * 8, 64: b"\x02" * 8},
+                   "written": {(0, 1), (2, 3)}, "epoch": 4,
+                   "ratio": 0.1 + 0.2}
+        blob = dumps(payload, kind="test")
+        assert dumps(loads(blob, kind="test"), kind="test") == blob
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(CheckpointError, match="cannot checkpoint"):
+            dumps({"bad": object()}, kind="test")
+
+    def test_container_layout(self):
+        blob = dumps({"x": 1}, kind="test")
+        assert blob.startswith(CHECKPOINT_MAGIC)
+        assert len(blob) > len(CHECKPOINT_MAGIC) + 8 + 32
+
+    def test_detects_bad_magic(self):
+        blob = b"NOTCKPT!" + dumps({}, kind="t")[8:]
+        with pytest.raises(CheckpointError, match="magic"):
+            loads(blob)
+
+    def test_detects_truncation(self):
+        blob = dumps({"x": list(range(100))}, kind="t")
+        with pytest.raises(CheckpointError, match="truncated"):
+            loads(blob[:-3])
+
+    def test_detects_payload_corruption(self):
+        blob = bytearray(dumps({"x": list(range(100))}, kind="t"))
+        blob[-1] ^= 0x40
+        with pytest.raises(CheckpointError, match="digest"):
+            loads(bytes(blob))
+
+    def test_detects_kind_mismatch(self):
+        blob = dumps({}, kind="system")
+        with pytest.raises(CheckpointError, match="kind"):
+            loads(blob, kind="simulation")
+
+    def test_save_load_checkpoint_file(self, tmp_path):
+        path = str(tmp_path / "state.ckpt")
+        save_checkpoint(path, dumps({"v": 9}, kind="t"))
+        assert load_checkpoint(path, kind="t") == {"v": 9}
+
+
+class TestConfigState:
+    @pytest.mark.parametrize("name", list(PRESETS))
+    def test_roundtrip_every_preset(self, name):
+        config = PRESETS[name]
+        assert config_from_state(config_state(config)) == config
+
+    def test_roundtrip_with_recovery_enabled(self):
+        config = PRESETS["split+gcm"].with_updates(
+            recovery=RecoveryConfig(
+                enabled=True, policy=RecoveryPolicy.QUARANTINE_PAGE,
+                max_retries=5, seed=11))
+        assert config_from_state(config_state(config)) == config
+
+    def test_state_is_checkpointable(self):
+        state = config_state(PRESETS["split+gcm"])
+        assert loads(dumps(state, kind="t"), kind="t") == state
+
+
+class TestTraceDigest:
+    def test_stable_and_distinguishing(self):
+        one = spec_trace("swim", 2000)
+        again = spec_trace("swim", 2000)
+        other = spec_trace("mcf", 2000)
+        assert trace_digest(one) == trace_digest(again)
+        assert trace_digest(one) != trace_digest(other)
+
+
+def _exercised_system(name: str) -> SecureMemorySystem:
+    system = SecureMemorySystem(PRESETS[name], protected_bytes=PROTECTED,
+                                l2_size=2 * 1024, l2_assoc=2)
+    rng = random.Random(hash(name) & 0xFFFF)
+    block = system.block_size
+    addresses = [index * block
+                 for index in rng.sample(range(PROTECTED // block), 12)]
+    for address in addresses:
+        system.write_block(address,
+                           bytes((address + i) & 0xFF for i in range(block)))
+    system.flush()
+    for address in addresses[:6]:
+        system.read_block(address)
+    return system
+
+
+class TestSystemCheckpoint:
+    @pytest.mark.parametrize("name", list(PRESETS))
+    def test_roundtrip_byte_identical_every_preset(self, name):
+        """save → load → save reproduces the identical byte stream."""
+        original = _exercised_system(name)
+        blob = checkpoint_system(original)
+        restored = SecureMemorySystem(PRESETS[name],
+                                      protected_bytes=PROTECTED,
+                                      l2_size=2 * 1024, l2_assoc=2)
+        restore_system(restored, blob)
+        assert checkpoint_system(restored) == blob
+
+    def test_restored_system_reads_identically(self):
+        original = _exercised_system("split+gcm")
+        blob = checkpoint_system(original)
+        restored = SecureMemorySystem(PRESETS["split+gcm"],
+                                      protected_bytes=PROTECTED,
+                                      l2_size=2 * 1024, l2_assoc=2)
+        restore_system(restored, blob)
+        block = original.block_size
+        for index in range(0, PROTECTED // block, 7):
+            address = index * block
+            assert original.read_block(address) == restored.read_block(address)
+
+    def test_rejects_config_mismatch(self):
+        blob = checkpoint_system(_exercised_system("split+gcm"))
+        other = SecureMemorySystem(PRESETS["mono+gcm"],
+                                   protected_bytes=PROTECTED,
+                                   l2_size=2 * 1024, l2_assoc=2)
+        with pytest.raises(CheckpointError, match="configuration"):
+            restore_system(other, blob)

@@ -1,0 +1,113 @@
+"""Fuzz-harness recovery mode: the adversary proving recovery works."""
+
+import pytest
+
+from repro.testing import FaultKind, FaultOutcome, Scenario, run_scenario
+from repro.testing.fuzz import (
+    FAULT_ROTATION,
+    FAULT_ROTATION_RECOVERY,
+    run_fuzz,
+)
+from repro.testing.schedule import generate_scenario
+
+PRESETS_UNDER_TEST = ["split+gcm", "mono+gcm"]
+
+
+def _transient(preset, seed, recovery="halt"):
+    return generate_scenario(preset, seed,
+                             fault_kind=FaultKind.TRANSIENT_FLIP,
+                             recovery=recovery)
+
+
+class TestScenarioRecoveryField:
+    def test_roundtrips_through_dict(self):
+        scenario = _transient("split+gcm", 5)
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+        assert clone.recovery == "halt"
+        assert clone.fault.kind is FaultKind.TRANSIENT_FLIP
+        assert clone.fault.duration in (1, 2, 3)
+
+    def test_persistent_kinds_keep_existing_rng_stream(self):
+        # the duration draw must not shift seeds for non-transient kinds
+        with_recovery = generate_scenario(
+            "split+gcm", 123, fault_kind=FaultKind.BIT_FLIP,
+            recovery="halt")
+        legacy = generate_scenario("split+gcm", 123,
+                                   fault_kind=FaultKind.BIT_FLIP)
+        assert with_recovery.ops == legacy.ops
+        assert with_recovery.fault_at == legacy.fault_at
+        assert with_recovery.fault.bits == legacy.fault.bits
+
+
+class TestRecoveryOutcomes:
+    def test_transient_recovered_with_recovery_enabled(self):
+        outcomes = set()
+        for seed in range(8):
+            result = run_scenario(_transient("split+gcm", seed))
+            outcomes.add(result.outcome)
+            assert result.outcome in (FaultOutcome.RECOVERED,
+                                      FaultOutcome.NEUTRALIZED,
+                                      FaultOutcome.NOT_TRIGGERED)
+        assert FaultOutcome.RECOVERED in outcomes
+
+    def test_transient_detected_without_recovery(self):
+        # same glitches, recovery off: the violation escapes as a detection
+        outcomes = set()
+        for seed in range(8):
+            scenario = _transient("split+gcm", seed, recovery=None)
+            outcomes.add(run_scenario(scenario).outcome)
+        assert FaultOutcome.DETECTED in outcomes
+
+    @pytest.mark.parametrize("policy", ["halt", "quarantine_page"])
+    def test_persistent_fault_still_detected_under_recovery(self, policy):
+        detected = 0
+        for seed in range(6):
+            scenario = generate_scenario("split+gcm", seed,
+                                         fault_kind=FaultKind.BIT_FLIP,
+                                         recovery=policy)
+            result = run_scenario(scenario)
+            assert result.outcome in (FaultOutcome.DETECTED,
+                                      FaultOutcome.NEUTRALIZED,
+                                      FaultOutcome.NOT_TRIGGERED)
+            detected += result.outcome is FaultOutcome.DETECTED
+        assert detected > 0
+
+
+class TestFuzzRecoveryMode:
+    def test_rotation_interleaves_transients(self):
+        assert FaultKind.TRANSIENT_FLIP in FAULT_ROTATION_RECOVERY
+        assert FaultKind.TRANSIENT_FLIP not in FAULT_ROTATION
+        persistent = {kind for kind in FAULT_ROTATION_RECOVERY
+                      if kind is not FaultKind.TRANSIENT_FLIP}
+        assert persistent == set(FAULT_ROTATION)
+
+    @pytest.mark.parametrize("policy", ["halt", "quarantine_page"])
+    def test_recovery_campaign_is_clean(self, policy):
+        report = run_fuzz(campaigns=6, seed=3, recover=policy,
+                          presets=PRESETS_UNDER_TEST)
+        assert report.ok
+        assert report.recovered > 0
+        assert report.unrecovered_transient == 0
+        assert report.missed == 0 and report.spurious == 0
+        assert report.to_dict()["recover"] == policy
+
+    def test_report_counts_recovered_as_injected(self):
+        report = run_fuzz(campaigns=4, seed=1, recover="halt",
+                          presets=["split+gcm"])
+        tallied = (report.detected + report.recovered + report.neutralized
+                   + report.unprotected + report.missed)
+        assert tallied == report.injected
+
+    def test_timeout_marks_partial_report(self):
+        report = run_fuzz(campaigns=10_000, seed=0, timeout=1e-6,
+                          presets=["split+gcm"])
+        assert report.timed_out
+        assert report.scenarios_run == 0
+        assert report.to_dict()["timed_out"] is True
+
+    def test_baseline_rotation_unchanged_without_recover(self):
+        report = run_fuzz(campaigns=3, seed=0, presets=["split+gcm"])
+        assert report.ok
+        assert report.recovered == 0
+        assert not report.timed_out

@@ -1,0 +1,88 @@
+"""Deterministic checkpoint/resume of timing simulations through the API."""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.resilience import CheckpointError
+
+REFS = 5000
+EVERY = 1500
+SCHEME = "split+gcm"
+
+
+def _snapshot_equal(left: dict, right: dict) -> bool:
+    if left.keys() != right.keys():
+        return False
+    for key, a in left.items():
+        b = right[key]
+        if (isinstance(a, float) and isinstance(b, float)
+                and math.isnan(a) and math.isnan(b)):
+            continue
+        if a != b:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    experiment = api.Experiment(SCHEME, "swim", refs=REFS)
+    result = experiment.run()
+    return experiment, result
+
+
+class TestResume:
+    def test_checkpointed_run_matches_plain_run(self, uninterrupted,
+                                                tmp_path):
+        _, plain = uninterrupted
+        path = str(tmp_path / "roll.ckpt")
+        checked = api.run(SCHEME, "swim", refs=REFS,
+                          checkpoint_every=EVERY, checkpoint_path=path)
+        assert checked.to_dict() == plain.to_dict()
+        assert (tmp_path / "roll.ckpt").exists()
+
+    def test_resume_is_bit_identical(self, uninterrupted, tmp_path):
+        plain_exp, plain = uninterrupted
+        path = str(tmp_path / "roll.ckpt")
+        api.run(SCHEME, "swim", refs=REFS,
+                checkpoint_every=EVERY, checkpoint_path=path)
+        resumed_exp = api.Experiment(SCHEME, "swim", refs=REFS)
+        resumed = resumed_exp.run(resume_from=path)
+        # headline result identical to the float
+        assert resumed.to_dict() == plain.to_dict()
+        # and the full metrics snapshot reproduces exactly
+        assert _snapshot_equal(
+            plain_exp.result.memory.metrics.snapshot(),
+            resumed_exp.result.memory.metrics.snapshot())
+
+    def test_resume_rejects_different_workload(self, tmp_path):
+        path = str(tmp_path / "roll.ckpt")
+        api.run(SCHEME, "swim", refs=REFS,
+                checkpoint_every=EVERY, checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="different experiment"):
+            api.run(SCHEME, "mcf", refs=REFS, resume_from=path)
+        with pytest.raises(CheckpointError, match="different experiment"):
+            api.run(SCHEME, "swim", refs=REFS + 1, resume_from=path)
+
+    def test_resume_rejects_different_config(self, tmp_path):
+        path = str(tmp_path / "roll.ckpt")
+        api.run(SCHEME, "swim", refs=REFS,
+                checkpoint_every=EVERY, checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="configuration"):
+            api.run("mono+gcm", "swim", refs=REFS, resume_from=path)
+
+    def test_checkpoint_keywords_must_pair(self):
+        with pytest.raises(ValueError, match="go together"):
+            api.run(SCHEME, "swim", refs=REFS, checkpoint_every=EVERY)
+        with pytest.raises(ValueError, match="go together"):
+            api.run(SCHEME, "swim", refs=REFS, checkpoint_path="x.ckpt")
+
+    def test_checkpointing_refuses_tracer(self, tmp_path):
+        from repro.obs import RecordingTracer
+
+        experiment = api.Experiment(SCHEME, "swim", refs=REFS,
+                                    trace=RecordingTracer())
+        with pytest.raises(ValueError, match="trace"):
+            experiment.run(checkpoint_every=EVERY,
+                           checkpoint_path=str(tmp_path / "x.ckpt"))
