@@ -8,17 +8,36 @@ multi-round statistics, unlike the single-shot figure benches.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.crypto.aes import AES128
 from repro.crypto.ctr import bulk_ctr_transform, ctr_transform
 from repro.crypto.gcm import AESGCM
 from repro.crypto.gf128 import GF128Table
 from repro.crypto.ghash import ghash, ghash_chunks
-from repro.crypto.mac import gcm_block_mac
+from repro.crypto.mac import gcm_block_mac, gcm_block_macs
 from repro.crypto.sha1 import sha1
+from repro.crypto.vector import (
+    HAVE_NUMPY,
+    bulk_ctr_transform_vector,
+    gcm_block_macs_vector,
+    ghash_chunks_many,
+    vector_aes,
+    vector_ghash,
+)
 
 KEY = bytes(range(16))
 BLOCK64 = bytes(range(64)) + bytes(range(192, 256)) * 0
 DATA64 = (b"\xa5" * 64)
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="vector kernel needs numpy")
+
+# Batch size for the vector-vs-table comparisons: large enough that the
+# per-call array setup amortizes, matching the read_blocks bulk path.
+VEC_N = 1024
+VEC_ITEMS = [(0x1000 + i * 64, 42 + i, DATA64) for i in range(VEC_N)]
+VEC_MESSAGES = [bytes([i & 0xFF]) * 64 for i in range(VEC_N)]
 
 
 def test_aes_block_encrypt(benchmark):
@@ -107,3 +126,74 @@ def test_gf128_table_build(benchmark):
 def test_sha1_64B(benchmark):
     out = benchmark(sha1, DATA64)
     assert len(out) == 20
+
+
+# -- vector kernel vs table kernel, same 1024-block batches -------------------
+#
+# Each vector bench has a table twin on identical inputs; the ratio of
+# their per-round times is the vector speed-up recorded in
+# results/crypto_micro.txt.  Warm-up is forced outside the timed region
+# (table/array construction is cached per key).
+
+
+@needs_numpy
+def test_vector_aes_encrypt_1024_blocks(benchmark):
+    blocks = [bytes([i & 0xFF]) * 16 for i in range(VEC_N)]
+    vaes = vector_aes(KEY)
+    out = benchmark(vaes.encrypt_blocks, blocks)
+    assert out[0] == AES128(KEY).encrypt_block(blocks[0])
+
+
+def test_table_aes_encrypt_1024_blocks(benchmark):
+    blocks = [bytes([i & 0xFF]) * 16 for i in range(VEC_N)]
+    aes = AES128(KEY)
+    out = benchmark(aes.encrypt_blocks, blocks)
+    assert len(out) == VEC_N
+
+
+@needs_numpy
+def test_vector_pad_generation_1024_blocks(benchmark):
+    out = benchmark(bulk_ctr_transform_vector, KEY, VEC_ITEMS)
+    addr, ctr, data = VEC_ITEMS[0]
+    assert out[0] == ctr_transform(AES128(KEY), addr, ctr, data)
+
+
+def test_table_pad_generation_1024_blocks(benchmark):
+    aes = AES128(KEY)
+    out = benchmark(bulk_ctr_transform, aes, VEC_ITEMS)
+    assert len(out) == VEC_N
+
+
+@needs_numpy
+def test_vector_ghash_1024_messages(benchmark):
+    h = AES128(KEY).encrypt_block(b"\x00" * 16)
+    vector_ghash(h)  # build the table outside the timed region
+    out = benchmark(ghash_chunks_many, h, VEC_MESSAGES)
+    assert len(out) == VEC_N
+
+
+def test_table_ghash_1024_messages(benchmark):
+    h = AES128(KEY).encrypt_block(b"\x00" * 16)
+
+    def run():
+        return [
+            ghash_chunks(h, [m[i:i + 16] for i in range(0, 64, 16)])
+            for m in VEC_MESSAGES
+        ]
+
+    out = benchmark(run)
+    assert len(out) == VEC_N
+
+
+@needs_numpy
+def test_vector_leaf_macs_1024_blocks(benchmark):
+    h = AES128(KEY).encrypt_block(b"\x00" * 16)
+    out = benchmark(gcm_block_macs_vector, KEY, h, VEC_ITEMS, 64)
+    assert len(out) == VEC_N and len(out[0]) == 8
+
+
+def test_table_leaf_macs_1024_blocks(benchmark):
+    aes = AES128(KEY)
+    h = aes.encrypt_block(b"\x00" * 16)
+    out = benchmark(gcm_block_macs, aes, h, VEC_ITEMS, 64, kernel="table")
+    assert len(out) == VEC_N and len(out[0]) == 8

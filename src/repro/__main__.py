@@ -28,6 +28,13 @@ Commands:
   latency into bus/DRAM/AES/GHASH/tree components, and report the
   per-component totals; exits non-zero if any miss's attribution residual
   exceeds ``--tolerance`` (default 1%).
+* ``bench [--json] [--out PATH] [--baseline PATH] [--tolerance F]
+  [--quick]`` — run the seeded perf-regression suite (crypto micros under
+  every kernel + deterministic preset simulations) and emit the
+  schema-versioned BENCH report.  ``--out`` also writes it to a file;
+  ``--baseline`` diffs the gate metrics against a committed report.  Exit
+  codes: 0 clean, 2 regression gate tripped (geo-mean of current/baseline
+  gate-metric ratios below ``1 - tolerance``) or usage error.
 
 JSON contract: with ``--json``, stdout carries exactly one JSON document
 and nothing else — all progress and notes go to stderr.
@@ -243,6 +250,62 @@ def _cmd_profile(args) -> int:
     return 0 if profiled.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import compare_reports, load_report
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    report = api.bench(seed=args.seed, quick=args.quick,
+                       progress=progress)
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot use baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            report["regression_gate"] = compare_reports(
+                report, baseline, tolerance=args.tolerance)
+        except ValueError as exc:
+            print(f"cannot gate against {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote bench report to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        micro = report["micro"]
+        print(f"{report['bench_id']}  (schema {report['schema']}"
+              + (", quick)" if report["quick"] else ")"))
+        for name, entry in micro.items():
+            speed = entry["speedup_vs_scalar"]
+            table = speed.get("table", float("nan"))
+            vec = speed.get("vector", float("nan"))
+            print(f"  {name:<15} {entry['units']:>5} {entry['unit']:<9} "
+                  f"table {table:6.1f}x  vector {vec:6.1f}x  (vs scalar)")
+        sim = report["sim"]
+        print(f"  sim ({sim['app']}, {sim['refs']} refs): "
+              f"geomean normalized IPC "
+              f"{sim['geomean_normalized_ipc']:.4f}")
+        gate = report.get("regression_gate")
+        if gate is not None:
+            verdict = "ok" if gate["ok"] else "REGRESSION"
+            print(f"  gate vs baseline: geomean ratio "
+                  f"{gate['geomean_ratio']:.4f} "
+                  f"(tolerance {gate['tolerance']:.0%}) -> {verdict}")
+    gate = report.get("regression_gate")
+    if gate is not None and not gate["ok"]:
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -325,11 +388,27 @@ def main(argv: list[str] | None = None) -> int:
                       help="write the flat CSV event dump here")
     prof.add_argument("--json", action="store_true",
                       help="emit one machine-readable JSON object")
+    bench = sub.add_parser(
+        "bench", help="seeded perf-regression bench suite")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for the micro-bench inputs")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny workload for smoke/subprocess tests "
+                            "(only gate quick against quick)")
+    bench.add_argument("--out", metavar="PATH",
+                       help="also write the JSON report here (BENCH_5.json)")
+    bench.add_argument("--baseline", metavar="PATH",
+                       help="committed bench report to gate against")
+    bench.add_argument("--tolerance", type=float, default=0.10,
+                       help="max tolerated geo-mean gate-metric regression "
+                            "(default 10%%)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report on stdout")
     args = parser.parse_args(argv)
     return {"schemes": _cmd_schemes, "apps": _cmd_apps,
             "simulate": _cmd_simulate, "attack": _cmd_attack,
             "fuzz": _cmd_fuzz, "profile": _cmd_profile,
-            "sweep": _cmd_sweep}[args.command](args)
+            "sweep": _cmd_sweep, "bench": _cmd_bench}[args.command](args)
 
 
 if __name__ == "__main__":

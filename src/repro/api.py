@@ -47,6 +47,7 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "ProfileResult",
+    "bench",
     "fuzz",
     "get_config",
     "list_configs",
@@ -389,6 +390,19 @@ def profile(config: SecureMemoryConfig | str, workload: Any = "swim", *,
     return ProfileResult(result=result, attribution=report, tracer=tracer,
                          tolerance=tolerance, trace_path=trace_out,
                          csv_path=csv_out, metrics=metrics)
+
+
+def bench(**kwargs: Any) -> dict[str, Any]:
+    """Run the perf-regression bench suite and return its report dict.
+
+    A facade over :func:`repro.bench.run_bench` (imported lazily).  The
+    report is schema-versioned (see :data:`repro.bench.BENCH_SCHEMA`) and
+    is what ``python -m repro bench --json`` prints; diff two of them with
+    :func:`repro.bench.compare_reports`.
+    """
+    from repro.bench import run_bench
+
+    return run_bench(**kwargs)
 
 
 def fuzz(campaigns: int = 20, seed: int = 0, **kwargs: Any):

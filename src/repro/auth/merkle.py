@@ -160,9 +160,15 @@ class MerkleTree:
                                 self.derivative_counter(level, index),
                                 content)
 
-    def leaf_mac(self, leaf_address: int, counter: int,
-                 content: bytes) -> bytes:
+    def leaf_mac(self, leaf_address: int, counter: int, content: bytes,
+                 precomputed: bytes | None = None) -> bytes:
+        # ``precomputed`` carries a MAC the batch path already obtained from
+        # MACScheme.compute_many — same inputs, same scheme, same bytes —
+        # so it still counts as one MAC computation here (the batch helper
+        # deliberately does not touch the tree's stats).
         self.stats.mac_computations += 1
+        if precomputed is not None:
+            return precomputed
         return self.mac.compute(leaf_address, counter, content)
 
     # -- trusted-node acquisition ---------------------------------------------
@@ -329,7 +335,8 @@ class MerkleTree:
     # -- public leaf protocol ---------------------------------------------------
 
     def verify_leaf(self, leaf_index: int, leaf_address: int, counter: int,
-                    content: bytes) -> int:
+                    content: bytes,
+                    _precomputed_mac: bytes | None = None) -> int:
         """Verify a fetched leaf block against the tree.
 
         Returns the number of tree levels that had to be fetched from
@@ -344,7 +351,8 @@ class MerkleTree:
         slot = self.geometry.slot_in_parent(leaf_index)
         mb = self.geometry.mac_bytes
         expected = bytes(payload[slot * mb:(slot + 1) * mb])
-        actual = self.leaf_mac(leaf_address, counter, content)
+        actual = self.leaf_mac(leaf_address, counter, content,
+                               precomputed=_precomputed_mac)
         tracer = self.tracer
         if not constant_time_equal(actual, expected):
             self.stats.violations_detected += 1
@@ -364,7 +372,8 @@ class MerkleTree:
         return len(fetched)
 
     def update_leaf(self, leaf_index: int, leaf_address: int, counter: int,
-                    content: bytes) -> None:
+                    content: bytes,
+                    _precomputed_mac: bytes | None = None) -> None:
         """Install a written-back leaf's MAC; propagates to first cached node."""
         self.stats.leaf_updates += 1
         tracer = self.tracer
@@ -376,7 +385,7 @@ class MerkleTree:
         slot = self.geometry.slot_in_parent(leaf_index)
         mb = self.geometry.mac_bytes
         payload[slot * mb:(slot + 1) * mb] = self.leaf_mac(
-            leaf_address, counter, content
+            leaf_address, counter, content, precomputed=_precomputed_mac
         )
         if needs_dirty:
             assert self.node_cache.mark_dirty(self.node_address(1, parent))
@@ -391,6 +400,22 @@ class MerkleTree:
     # leaves keep their relative order within a group, so the per-leaf
     # results are identical to the equivalent scalar loop over the grouped
     # sequence.
+
+    def _batch_leaf_macs(self, grouped: list[tuple]) -> list[bytes | None]:
+        """Precompute the batch's leaf MACs through the scheme's bulk kernel.
+
+        Single-leaf batches keep the scalar path (nothing to batch); larger
+        ones go through :meth:`MACScheme.compute_many`, whose results are
+        byte-identical to per-leaf :meth:`MACScheme.compute` calls.  The
+        per-leaf ``leaf_mac`` bookkeeping still runs when the values are
+        consumed, so ``stats.mac_computations`` is unchanged.
+        """
+        if len(grouped) < 2:
+            return [None] * len(grouped)
+        return list(self.mac.compute_many(
+            [(leaf_address, counter, content)
+             for _, leaf_address, counter, content in grouped]
+        ))
 
     def _grouped_by_parent(self, items: list[tuple]) -> list[tuple]:
         groups: dict[int, list[tuple]] = {}
@@ -408,11 +433,13 @@ class MerkleTree:
         (in grouped order); earlier leaves of the batch have then already
         been verified, later ones have not been examined.
         """
+        grouped = self._grouped_by_parent(items)
+        macs = self._batch_leaf_macs(grouped)
         total = 0
-        for leaf_index, leaf_address, counter, content in (
-                self._grouped_by_parent(items)):
+        for (leaf_index, leaf_address, counter, content), mac in zip(
+                grouped, macs):
             total += self.verify_leaf(leaf_index, leaf_address, counter,
-                                      content)
+                                      content, _precomputed_mac=mac)
         return total
 
     def update_leaves(self, items: list[tuple[int, int, int, bytes]]) -> None:
@@ -421,9 +448,12 @@ class MerkleTree:
         ``items`` holds ``(leaf_index, leaf_address, counter, content)``
         tuples, regrouped as in :meth:`verify_leaves`.
         """
-        for leaf_index, leaf_address, counter, content in (
-                self._grouped_by_parent(items)):
-            self.update_leaf(leaf_index, leaf_address, counter, content)
+        grouped = self._grouped_by_parent(items)
+        macs = self._batch_leaf_macs(grouped)
+        for (leaf_index, leaf_address, counter, content), mac in zip(
+                grouped, macs):
+            self.update_leaf(leaf_index, leaf_address, counter, content,
+                             _precomputed_mac=mac)
 
     def flush(self) -> None:
         """Write every dirty cached node back to DRAM (orderly shutdown).

@@ -1,0 +1,321 @@
+"""Perf-regression bench harness: ``python -m repro bench`` / ``api.bench()``.
+
+Produces one schema-versioned, machine-readable report (``BENCH_5.json``)
+per run so every PR appends a comparable point to the repo's performance
+trajectory, and CI can diff a fresh run against the committed baseline.
+
+Design constraints the format encodes:
+
+* **Machine portability.**  Absolute wall-clock throughput measured on a
+  laptop is meaningless next to a number from a CI runner.  The *gate*
+  metrics are therefore host-relative: each kernel's speedup over the
+  scalar reference **measured in the same run**, plus the deterministic
+  simulated-cycle figures (which do not depend on host speed at all).  Two
+  runs on different machines gate against each other cleanly; the absolute
+  throughputs are still recorded, but only as context.
+* **Seeded, warmup-controlled timing.**  Inputs come from a seeded RNG;
+  every kernel is warmed (table/array construction happens outside the
+  timed region) and the best of ``repeats`` passes is kept — the standard
+  defence against one-off scheduling noise biasing a minimum-latency
+  measurement.
+* **Versioned schema.**  ``schema`` names the layout
+  (:data:`BENCH_SCHEMA`), ``bench_id`` names the trajectory point.  A
+  reader that sees an unknown schema string must refuse, not guess —
+  :func:`validate_report` is that reader.
+
+Exit-code contract (enforced by ``python -m repro bench`` and its
+subprocess tests): 0 clean, 2 when ``--baseline`` is given and the
+geo-mean of current/baseline gate-metric ratios drops below
+``1 - tolerance``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from typing import Any, Callable
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import bulk_ctr_transform
+from repro.crypto.mac import gcm_block_macs
+from repro.crypto.vector import (
+    HAVE_NUMPY,
+    ghash_chunks_kernel,
+    ghash_chunks_many,
+)
+from repro.sim.metrics import geometric_mean
+
+__all__ = [
+    "BENCH_ID",
+    "BENCH_SCHEMA",
+    "compare_reports",
+    "run_bench",
+    "validate_report",
+]
+
+#: schema identifier a consumer must check before reading anything else
+BENCH_SCHEMA = "repro-bench/1"
+#: trajectory point emitted by this revision of the repo
+BENCH_ID = "BENCH_5"
+
+#: kernels timed by every micro-benchmark, scalar first (the reference)
+_MICRO_KERNELS = ("scalar", "table", "vector")
+
+#: presets whose simulated cycles anchor the deterministic half of the
+#: report (host-speed independent, so cross-machine ratios are exact)
+_SIM_PRESETS = ("split+gcm", "mono+gcm", "split+sha", "gcm-auth")
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` timed calls (after one
+    untimed warmup call that absorbs lazy table/array construction)."""
+    fn()
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _micro_entry(label: str, units: int, unit_name: str,
+                 runners: dict[str, Callable[[], Any]],
+                 repeats: int) -> dict[str, Any]:
+    """Time one micro-benchmark under every kernel; returns its report
+    section.  ``units`` is the per-call work item count (blocks, messages)
+    used for the throughput figures."""
+    checksums = {name: runner() for name, runner in runners.items()}
+    reference = checksums["scalar"]
+    for name, value in checksums.items():
+        if value != reference:
+            raise AssertionError(
+                f"{label}: kernel {name!r} diverged from the scalar "
+                f"reference — refusing to benchmark wrong code"
+            )
+    seconds = {name: _best_of(runner, repeats)
+               for name, runner in runners.items()}
+    scalar = seconds["scalar"]
+    return {
+        "units": units,
+        "unit": unit_name,
+        "seconds": seconds,
+        "throughput": {name: units / secs if secs > 0 else math.inf
+                       for name, secs in seconds.items()},
+        "speedup_vs_scalar": {name: scalar / secs if secs > 0 else math.inf
+                              for name, secs in seconds.items()
+                              if name != "scalar"},
+    }
+
+
+def _micro_benchmarks(seed: int, blocks: int,
+                      repeats: int) -> dict[str, Any]:
+    """The three hot-path micros: CTR pad generation, GHASH, leaf MACs."""
+    rng = random.Random(seed)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    aes = AES128(key)
+    ghash_key = aes.encrypt_block(b"\x00" * 16)
+
+    ctr_items = [
+        (index * 64, rng.randrange(1 << 40), rng.randbytes(64))
+        for index in range(blocks)
+    ]
+    messages = [rng.randbytes(64) for _ in range(blocks)]
+    chunk_lists = [[message[i:i + 16] for i in range(0, 64, 16)]
+                   for message in messages]
+    mac_items = [
+        (index * 64, rng.randrange(1 << 40), message)
+        for index, message in enumerate(messages)
+    ]
+
+    def ctr_runner(kernel: str) -> Callable[[], Any]:
+        return lambda: bulk_ctr_transform(aes, ctr_items, kernel=kernel)
+
+    def ghash_runner(kernel: str) -> Callable[[], Any]:
+        if kernel == "vector" and HAVE_NUMPY:
+            # The vector kernel's unit of work is the whole batch — one
+            # chain per message length — which is exactly how the leaf-MAC
+            # path drives it; timing it per-message would bench the array
+            # setup overhead instead of the kernel.
+            return lambda: ghash_chunks_many(ghash_key, messages)
+        return lambda: [ghash_chunks_kernel(ghash_key, chunks, kernel)
+                        for chunks in chunk_lists]
+
+    def mac_runner(kernel: str) -> Callable[[], Any]:
+        return lambda: gcm_block_macs(aes, ghash_key, mac_items,
+                                      kernel=kernel)
+
+    return {
+        "pad_generation": _micro_entry(
+            "pad_generation", blocks, "blocks",
+            {k: ctr_runner(k) for k in _MICRO_KERNELS}, repeats),
+        "ghash": _micro_entry(
+            "ghash", blocks, "messages",
+            {k: ghash_runner(k) for k in _MICRO_KERNELS}, repeats),
+        "leaf_macs": _micro_entry(
+            "leaf_macs", blocks, "macs",
+            {k: mac_runner(k) for k in _MICRO_KERNELS}, repeats),
+    }
+
+
+def _sim_benchmarks(refs: int, app: str) -> dict[str, Any]:
+    """Deterministic per-preset simulated cycles + normalized IPC.
+
+    These numbers depend only on the timing model and the seeded trace,
+    never on host speed, so a cross-machine baseline diff of exactly 1.0
+    is the expected clean result.
+    """
+    from repro.api import Experiment, get_config
+    from repro.sim import simulate
+    from repro.workloads import spec_trace
+
+    trace = spec_trace(app, refs)
+    baseline = simulate(get_config("baseline"), trace,
+                        warmup_refs=refs // 3)
+    presets: dict[str, Any] = {}
+    for name in _SIM_PRESETS:
+        result = Experiment(name, trace, refs=refs,
+                            baseline=baseline).run()
+        presets[name] = {
+            "cycles": result.cycles,
+            "normalized_ipc": result.normalized_ipc,
+        }
+    return {
+        "app": app,
+        "refs": refs,
+        "presets": presets,
+        "geomean_normalized_ipc": geometric_mean(
+            [entry["normalized_ipc"] for entry in presets.values()]
+        ),
+    }
+
+
+def _gate_metrics(micro: dict[str, Any], sim: dict[str, Any]
+                  ) -> dict[str, float]:
+    """The flat higher-is-better metric vector the regression gate diffs.
+
+    Only host-relative (speedups) and host-independent (normalized IPC)
+    quantities qualify — never absolute throughput.
+    """
+    gate: dict[str, float] = {}
+    for bench_name, entry in micro.items():
+        for kernel, speedup in entry["speedup_vs_scalar"].items():
+            gate[f"micro.{bench_name}.{kernel}_speedup"] = speedup
+    gate["sim.geomean_normalized_ipc"] = sim["geomean_normalized_ipc"]
+    return gate
+
+
+def run_bench(*, seed: int = 0, blocks: int = 1024, repeats: int = 3,
+              refs: int = 20_000, app: str = "swim", quick: bool = False,
+              progress: Callable[[str], None] | None = None
+              ) -> dict[str, Any]:
+    """Run the full bench suite; returns the BENCH report as a dict.
+
+    ``quick`` shrinks every dimension (for smoke tests and subprocess
+    tests); quick reports are marked as such and should only be gated
+    against quick baselines.
+    """
+    if quick:
+        blocks, repeats, refs = 64, 1, 2_000
+    note = progress if progress is not None else (lambda _msg: None)
+    note(f"bench: timing crypto micros ({blocks} blocks x {repeats} repeats)")
+    micro = _micro_benchmarks(seed, blocks, repeats)
+    note(f"bench: simulating {len(_SIM_PRESETS)} presets ({refs} refs)")
+    sim = _sim_benchmarks(refs, app)
+    report = {
+        "schema": BENCH_SCHEMA,
+        "bench_id": BENCH_ID,
+        "quick": quick,
+        "seed": seed,
+        "numpy_available": HAVE_NUMPY,
+        "micro": micro,
+        "sim": sim,
+        "gate_metrics": _gate_metrics(micro, sim),
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(report: Any) -> None:
+    """Schema-check one bench report; raises :class:`ValueError` on any
+    violation.  This is the reader CI and the subprocess tests use — an
+    unknown schema string is a refusal, not a warning."""
+    if not isinstance(report, dict):
+        raise ValueError(f"bench report must be an object, got "
+                         f"{type(report).__name__}")
+    schema = report.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(f"unknown bench schema {schema!r} "
+                         f"(expected {BENCH_SCHEMA!r})")
+    for field, kind in (("bench_id", str), ("quick", bool), ("seed", int),
+                        ("numpy_available", bool), ("micro", dict),
+                        ("sim", dict), ("gate_metrics", dict)):
+        if not isinstance(report.get(field), kind):
+            raise ValueError(f"bench report field {field!r} must be "
+                             f"{kind.__name__}")
+    for name, entry in report["micro"].items():
+        for field in ("units", "unit", "seconds", "throughput",
+                      "speedup_vs_scalar"):
+            if field not in entry:
+                raise ValueError(f"micro entry {name!r} missing {field!r}")
+        for kernel in _MICRO_KERNELS:
+            if kernel not in entry["seconds"]:
+                raise ValueError(f"micro entry {name!r} missing kernel "
+                                 f"{kernel!r}")
+    sim = report["sim"]
+    for field in ("app", "refs", "presets", "geomean_normalized_ipc"):
+        if field not in sim:
+            raise ValueError(f"sim section missing {field!r}")
+    for name, entry in sim["presets"].items():
+        for field in ("cycles", "normalized_ipc"):
+            if field not in entry:
+                raise ValueError(f"sim preset {name!r} missing {field!r}")
+    for name, value in report["gate_metrics"].items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            raise ValueError(f"gate metric {name!r} must be finite, "
+                             f"got {value!r}")
+
+
+def compare_reports(current: dict[str, Any], baseline: dict[str, Any], *,
+                    tolerance: float = 0.10) -> dict[str, Any]:
+    """Diff two bench reports' gate metrics (both higher-is-better).
+
+    Returns ``{"ok": bool, "geomean_ratio": g, "ratios": {...},
+    "tolerance": t}``; ``ok`` is False when the geometric mean of
+    current/baseline ratios over the shared metrics falls below
+    ``1 - tolerance`` — a >tolerance aggregate regression.  Metrics present
+    on only one side are listed but excluded from the geo-mean, so adding a
+    benchmark never trips the gate by itself.
+    """
+    validate_report(current)
+    validate_report(baseline)
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    if bool(current["quick"]) != bool(baseline["quick"]):
+        raise ValueError(
+            "refusing to gate a quick report against a full baseline "
+            "(or vice versa) — the workloads are not comparable"
+        )
+    cur, base = current["gate_metrics"], baseline["gate_metrics"]
+    shared = sorted(set(cur) & set(base))
+    if not shared:
+        raise ValueError("bench reports share no gate metrics")
+    ratios = {name: cur[name] / base[name] for name in shared}
+    geomean = geometric_mean([ratios[name] for name in shared])
+    return {
+        "ok": geomean >= 1.0 - tolerance,
+        "geomean_ratio": geomean,
+        "tolerance": tolerance,
+        "ratios": ratios,
+        "only_in_current": sorted(set(cur) - set(base)),
+        "only_in_baseline": sorted(set(base) - set(cur)),
+    }
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Read and schema-check a bench report file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    validate_report(report)
+    return report

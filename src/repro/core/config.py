@@ -23,6 +23,7 @@ from typing import Mapping
 
 from repro.auth.policies import AuthPolicy
 from repro.crypto.mac import VALID_MAC_BITS
+from repro.crypto.vector import KERNELS
 
 
 class EncryptionMode(enum.Enum):
@@ -145,6 +146,13 @@ class SecureMemoryConfig:
     memory_size: int = DEFAULT_MEMORY_SIZE
     memory_latency: int = DEFAULT_MEMORY_LATENCY
 
+    #: software crypto backend for the functional layer: ``"auto"`` picks
+    #: the NumPy vector kernel when available (table otherwise); explicit
+    #: ``"vector"``/``"table"``/``"scalar"`` pin a backend.  All backends
+    #: are byte-identical — this knob trades host-side speed only and has
+    #: no effect on simulated timing or statistics.
+    kernel: str = "auto"
+
     aes_latency: float = 80.0
     aes_stages: int = 16
     aes_engines: int = 1
@@ -178,6 +186,11 @@ class SecureMemoryConfig:
         if self.aes_engines < 1:
             raise ValueError(
                 f"aes_engines must be at least 1, got {self.aes_engines}"
+            )
+        if self.kernel != "auto" and self.kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be 'auto' or one of {KERNELS}, "
+                f"got {self.kernel!r}"
             )
 
     def with_updates(self, **changes) -> "SecureMemoryConfig":

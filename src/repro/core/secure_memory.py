@@ -50,6 +50,7 @@ from repro.counters.split import SplitCounterScheme
 from repro.crypto.aes import AES128
 from repro.crypto.ctr import CHUNK_SIZE, bulk_ctr_transform, ctr_transform
 from repro.crypto.sha1 import sha1
+from repro.crypto.vector import decrypt_blocks_kernel, resolve_kernel
 from repro.memory.cache import Cache
 from repro.memory.dram import MainMemory
 from repro.obs.metrics import MetricsRegistry
@@ -99,6 +100,9 @@ class SecureMemorySystem:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.block_size = config.block_size
+        #: resolved crypto backend ("scalar"/"table"/"vector") for the
+        #: batch paths; all backends produce identical bytes
+        self.kernel = resolve_kernel(config.kernel)
         if protected_bytes % self.block_size:
             raise ValueError("protected_bytes must be block-aligned")
         self.protected_bytes = protected_bytes
@@ -131,7 +135,8 @@ class SecureMemorySystem:
         if config.auth is not AuthMode.NONE:
             if config.auth is AuthMode.GCM:
                 self.mac_scheme = GCMMACScheme(
-                    _derive_key(self._base_key, b"mac"), config.mac_bits
+                    _derive_key(self._base_key, b"mac"), config.mac_bits,
+                    kernel=self.kernel,
                 )
             else:
                 self.mac_scheme = SHAMACScheme(
@@ -431,7 +436,8 @@ class SecureMemorySystem:
                 ]
         mode = self.config.encryption
         if mode is EncryptionMode.COUNTER:
-            plaintexts = bulk_ctr_transform(self._data_aes, fetched)
+            plaintexts = bulk_ctr_transform(self._data_aes, fetched,
+                                            kernel=self.kernel)
             for (address, _, _), plaintext in zip(fetched, plaintexts):
                 out[address] = bytearray(plaintext)
         elif mode is EncryptionMode.DIRECT:
@@ -440,7 +446,8 @@ class SecureMemorySystem:
                 for _, _, ciphertext in fetched
                 for i in range(0, self.block_size, CHUNK_SIZE)
             ]
-            plain_chunks = self._data_aes.decrypt_blocks(chunks)
+            plain_chunks = decrypt_blocks_kernel(self._data_aes, chunks,
+                                                 self.kernel)
             per_block = self.block_size // CHUNK_SIZE
             for n, (address, _, _) in enumerate(fetched):
                 out[address] = bytearray(

@@ -25,8 +25,30 @@ from repro.crypto.ctr import (
 from repro.crypto.gcm import AESGCM, AuthenticationError, constant_time_equal
 from repro.crypto.gf128 import GF128Element, GF128Table, gf128_mul
 from repro.crypto.ghash import GHASH, ghash, ghash_chunks
-from repro.crypto.mac import gcm_block_mac, macs_per_block, sha_block_mac
+from repro.crypto.mac import (
+    gcm_block_mac,
+    gcm_block_macs,
+    macs_per_block,
+    sha_block_mac,
+)
 from repro.crypto.sha1 import hmac_sha1, sha1
+from repro.crypto.vector import (
+    HAVE_NUMPY,
+    KERNELS,
+    VECTOR_MIN_BLOCKS,
+    VectorAES128,
+    VectorGHASH,
+    bulk_ctr_transform_vector,
+    decrypt_blocks_kernel,
+    encrypt_blocks_kernel,
+    gcm_block_macs_vector,
+    ghash_chunks_kernel,
+    ghash_chunks_many,
+    make_seeds_array,
+    resolve_kernel,
+    vector_aes,
+    vector_ghash,
+)
 
 __all__ = [
     "AES128",
@@ -38,21 +60,37 @@ __all__ = [
     "GF128Element",
     "GF128Table",
     "GHASH",
+    "HAVE_NUMPY",
+    "KERNELS",
+    "VECTOR_MIN_BLOCKS",
+    "VectorAES128",
+    "VectorGHASH",
     "bulk_ctr_transform",
+    "bulk_ctr_transform_vector",
     "constant_time_equal",
     "ctr_transform",
     "decrypt_blocks",
+    "decrypt_blocks_kernel",
     "encrypt_blocks",
+    "encrypt_blocks_kernel",
     "generate_pads",
     "gf128_mul",
     "ghash",
     "ghash_chunks",
+    "ghash_chunks_kernel",
+    "ghash_chunks_many",
     "gcm_block_mac",
+    "gcm_block_macs",
+    "gcm_block_macs_vector",
     "hmac_sha1",
     "macs_per_block",
     "make_seed",
     "make_seeds",
+    "make_seeds_array",
+    "resolve_kernel",
     "sha1",
     "sha_block_mac",
+    "vector_aes",
+    "vector_ghash",
     "xor_bytes",
 ]

@@ -85,14 +85,24 @@ def ctr_transform(aes: AES128, block_address: int, counter: int,
 
 
 def bulk_ctr_transform(aes: AES128, items: list[tuple[int, int, bytes]],
-                       iv_tag: int = ENCRYPTION_IV) -> list[bytes]:
+                       iv_tag: int = ENCRYPTION_IV,
+                       kernel: str = "table") -> list[bytes]:
     """Counter-mode transform many cache blocks with one AES dispatch.
 
     ``items`` is a list of ``(block_address, counter, data)``; the result
     preserves order.  All chunk seeds across the whole batch are generated
-    first and encrypted in a single :meth:`AES128.encrypt_blocks` call —
-    the software analogue of the paper's multi-engine pad pipeline.
+    first and encrypted in a single batch call — the software analogue of
+    the paper's multi-engine pad pipeline.  ``kernel`` selects the AES
+    backend (``"scalar"``, ``"table"``, or ``"vector"``); all three are
+    byte-identical, differing only in throughput.
     """
+    if kernel == "vector":
+        from repro.crypto import vector as _vector
+
+        if _vector.HAVE_NUMPY:
+            total_chunks = sum(len(data) // CHUNK_SIZE for _, _, data in items)
+            if total_chunks >= _vector.VECTOR_MIN_BLOCKS:
+                return _vector.bulk_ctr_transform_vector(aes.key, items, iv_tag)
     seeds: list[bytes] = []
     spans: list[tuple[int, int]] = []
     for block_address, counter, data in items:
@@ -101,7 +111,10 @@ def bulk_ctr_transform(aes: AES128, items: list[tuple[int, int, bytes]],
         num_chunks = len(data) // CHUNK_SIZE
         spans.append((len(seeds), num_chunks))
         seeds.extend(make_seeds(block_address, counter, num_chunks, iv_tag))
-    pads = aes.encrypt_blocks(seeds)
+    if kernel == "scalar":
+        pads = [aes.encrypt_block_scalar(seed) for seed in seeds]
+    else:
+        pads = aes.encrypt_blocks(seeds)
     out = []
     for (start, count), (_, _, data) in zip(spans, items):
         out.append(xor_bytes(data, b"".join(pads[start:start + count])))

@@ -45,6 +45,44 @@ def gcm_block_mac(aes: AES128, ghash_key: bytes, block_address: int,
     return xor_bytes(digest, auth_pad)[: mac_bits // 8]
 
 
+def gcm_block_macs(aes: AES128, ghash_key: bytes,
+                   items: list[tuple[int, int, bytes]],
+                   mac_bits: int = 64, kernel: str = "table") -> list[bytes]:
+    """Compute GCM codes for many blocks, batched through one kernel.
+
+    ``items`` is ``(block_address, counter, ciphertext)`` triples; results
+    preserve order and are byte-identical to :func:`gcm_block_mac` per item
+    under every kernel.  The vector kernel hashes all same-length
+    ciphertexts in one GHASH chain and generates all authentication pads in
+    one AES batch — the bulk path behind Merkle ``verify_leaves``.
+    """
+    if mac_bits not in VALID_MAC_BITS:
+        raise ValueError(f"mac_bits must be one of {VALID_MAC_BITS}")
+    if kernel == "vector":
+        from repro.crypto import vector as _vector
+
+        if _vector.HAVE_NUMPY and len(items) >= _vector.VECTOR_MIN_BLOCKS:
+            return _vector.gcm_block_macs_vector(
+                aes.key, ghash_key, items, mac_bits
+            )
+    if kernel == "scalar":
+        from repro.crypto.vector import _ghash_chunks_scalar
+
+        out = []
+        for block_address, counter, ciphertext in items:
+            digest = _ghash_chunks_scalar(ghash_key, _split_chunks(ciphertext))
+            auth_pad = aes.encrypt_block_scalar(
+                make_seed(block_address, counter, AUTHENTICATION_IV)
+            )
+            out.append(xor_bytes(digest, auth_pad)[: mac_bits // 8])
+        return out
+    return [
+        gcm_block_mac(aes, ghash_key, block_address, counter, ciphertext,
+                      mac_bits)
+        for block_address, counter, ciphertext in items
+    ]
+
+
 def sha_block_mac(key: bytes, block_address: int, counter: int,
                   ciphertext: bytes, mac_bits: int = 64) -> bytes:
     """Compute the (truncated) HMAC-SHA1 code for one block."""

@@ -76,6 +76,20 @@ class PipelinedEngine:
             done = self.request(now)
         return done
 
+    def batch_latency(self, count: int, start: float = 0.0) -> float:
+        """Completion time of ``count`` operations streamed from ``start``.
+
+        The pipeline-structure floor only: the first operation cannot
+        finish before ``start + latency`` and each subsequent one trails by
+        one initiation interval, regardless of engine occupancy (callers
+        combine this with :meth:`request_many` to model contention).
+        ``count`` of zero returns ``start`` unchanged.
+        """
+        if count <= 0:
+            return start
+        return (start + self.latency
+                + (count - 1) * self.initiation_interval)
+
     def busy_until(self) -> float:
         """Earliest cycle at which any copy can accept a new operation."""
         return min(self._next_issue)

@@ -223,9 +223,8 @@ class TimingSecureMemory:
         """Generate ``num_chunks`` pads; engine slots reserved at ``now``,
         completion no earlier than the dependency allows."""
         engine_done = self.aes.request_many(now, num_chunks)
-        pipeline_floor = (earliest_start + self.aes.latency
-                          + (num_chunks - 1) * self.aes.initiation_interval)
-        return max(engine_done, pipeline_floor)
+        return max(engine_done,
+                   self.aes.batch_latency(num_chunks, earliest_start))
 
     def _sha_mac(self, now: float, data_arrive: float) -> float:
         """One SHA-1 block MAC; cannot complete before arrival + latency."""
@@ -740,8 +739,7 @@ class TimingSecureMemory:
             # re-encryption overlap normal execution.
             read_occ = self.bus.charge_background(self.block_size)
             arrive = t + read_occ + self.mem_latency
-            pad_time = (self.aes.latency
-                        + (self._chunks - 1) * self.aes.initiation_interval)
+            pad_time = self.aes.batch_latency(self._chunks)
             plain_at = max(arrive, t + pad_time) + 1
             scheme.reset_minor(block_address)
             scheme.increment(block_address)

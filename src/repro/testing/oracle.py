@@ -33,8 +33,9 @@ Each fired fault is then classified:
 
 The module also hosts the kernel-level differential checks: table-driven
 vs. scalar AES, table-driven GHASH vs. a bitwise GF(2^128) reference,
-batched ``read_blocks``/``write_blocks`` vs. scalar loops, and split vs.
-monolithic counter modes on end-to-end plaintext recovery.
+batched ``read_blocks``/``write_blocks`` vs. scalar loops, split vs.
+monolithic counter modes on end-to-end plaintext recovery, and the NumPy
+vector kernels vs. the table kernels on every bulk crypto path.
 """
 
 from __future__ import annotations
@@ -455,6 +456,64 @@ def _diff_counter_modes(rng: random.Random,
     return DifferentialResult(name, True, "40 interleaved ops agreed")
 
 
+def _diff_vector_kernels(rng: random.Random,
+                         num_blocks: int = 48) -> DifferentialResult:
+    """Vector (NumPy) kernels vs. the table kernels on every bulk path.
+
+    Checks batched AES encrypt/decrypt, the batched GHASH chains, bulk
+    CTR transforms under both IV domains, and batched GCM block MACs at
+    every truncation width.  Skips (passes with a note) when NumPy is
+    unavailable — then the vector kernel cannot be selected either.
+    """
+    from repro.crypto import vector
+    from repro.crypto.ctr import AUTHENTICATION_IV, bulk_ctr_transform
+    from repro.crypto.mac import gcm_block_mac
+
+    name = "vector-vs-table-kernels"
+    if not vector.HAVE_NUMPY:
+        return DifferentialResult(name, True,
+                                  "numpy unavailable; vector kernel "
+                                  "cannot be selected (fallback checked)")
+    key = rng.randbytes(16)
+    aes = AES128(key)
+    blocks = [rng.randbytes(16) for _ in range(num_blocks)]
+    vec = vector.vector_aes(key)
+    if vec.encrypt_blocks(blocks) != aes.encrypt_blocks(blocks):
+        return DifferentialResult(name, False, "AES encrypt diverged")
+    ciphertexts = aes.encrypt_blocks(blocks)
+    if vec.decrypt_blocks(ciphertexts) != blocks:
+        return DifferentialResult(name, False, "AES decrypt diverged")
+    h = rng.randbytes(16)
+    messages = [rng.randbytes(16 * rng.randrange(1, 6))
+                for _ in range(num_blocks)]
+    expected_digests = [
+        ghash_chunks(h, [m[i:i + 16] for i in range(0, len(m), 16)])
+        for m in messages
+    ]
+    if vector.ghash_chunks_many(h, messages) != expected_digests:
+        return DifferentialResult(name, False, "GHASH chains diverged")
+    items = [(rng.randrange(1 << 44) * 16, rng.randrange(1 << 70),
+              rng.randbytes(64)) for _ in range(num_blocks)]
+    for iv_tag in (None, AUTHENTICATION_IV):
+        kwargs = {} if iv_tag is None else {"iv_tag": iv_tag}
+        if (vector.bulk_ctr_transform_vector(key, items, **kwargs)
+                != bulk_ctr_transform(aes, items, **kwargs)):
+            return DifferentialResult(
+                name, False, f"bulk CTR diverged (iv_tag={iv_tag})")
+    for mac_bits in (32, 64, 128):
+        expected_macs = [
+            gcm_block_mac(aes, h, address, counter, data, mac_bits)
+            for address, counter, data in items
+        ]
+        if (vector.gcm_block_macs_vector(key, h, items, mac_bits)
+                != expected_macs):
+            return DifferentialResult(
+                name, False, f"GCM block MACs diverged at {mac_bits} bits")
+    return DifferentialResult(
+        name, True,
+        f"{num_blocks}-block batches agreed on AES/GHASH/CTR/MAC paths")
+
+
 def run_differential_checks(seed: int) -> list[DifferentialResult]:
     """Run every implementation-pair check from one seed."""
     rng = random.Random(seed ^ 0xD1FF)
@@ -463,4 +522,5 @@ def run_differential_checks(seed: int) -> list[DifferentialResult]:
         _diff_ghash(rng),
         _diff_batched(rng),
         _diff_counter_modes(rng, ops_seed=seed ^ 0xC7),
+        _diff_vector_kernels(rng),
     ]

@@ -28,6 +28,7 @@ The weights, region sizes, and write ratios are the per-app profile knobs
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.workloads.trace import Trace
@@ -113,7 +114,9 @@ def generate_trace(profile: WorkloadProfile, num_refs: int,
     The same (profile, num_refs, seed) triple always yields the identical
     trace, so every benchmark config sees the same reference stream.
     """
-    rng = random.Random((hash(profile.name) & 0xFFFF) ^ seed)
+    # zlib.crc32, not hash(): str hashing is salted per process, which
+    # silently broke the determinism promise above across runs.
+    rng = random.Random((zlib.crc32(profile.name.encode()) & 0xFFFF) ^ seed)
     layout = profile.region_layout()
     weights = [profile.w_hot, profile.w_stream, profile.w_random,
                profile.w_pages, profile.w_thrash]

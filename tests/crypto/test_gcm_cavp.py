@@ -8,8 +8,15 @@ GHASH and AES kernels end to end through the public AEAD interface.
 
 import pytest
 
+from repro.crypto.aes import AES128
 from repro.crypto.gcm import AESGCM, AuthenticationError
 from repro.crypto.ghash import GHASH, ghash, ghash_chunks
+from repro.crypto.vector import (
+    HAVE_NUMPY,
+    _ghash_chunks_scalar,
+    ghash_chunks_many,
+    vector_aes,
+)
 
 # (key, iv, plaintext, aad, ciphertext, tag) — all hex
 CAVP_ENCRYPT_VECTORS = [
@@ -82,6 +89,107 @@ class TestCAVPDecryptFail:
         with pytest.raises(AuthenticationError):
             gcm.open(bytes.fromhex(iv), bytes.fromhex(ct),
                      bytes.fromhex(tag), bytes.fromhex(aad)[:-1] + b"\x00")
+
+
+class TestCAVPTruncatedTags:
+    """CAVP answers at the paper's truncated ``mac_bits`` presets.
+
+    SP 800-38D section 5.2.1.2 defines a t-bit tag as ``MSB_t`` of the
+    full GCM block, so the CAVP 128-bit answers fix the 64- and 32-bit
+    answers exactly — the same truncation rule ``gcm_block_mac`` applies
+    for the paper's 64- and 32-bit authentication codes.
+    """
+
+    @pytest.mark.parametrize("tag_bits", [32, 64])
+    @pytest.mark.parametrize("key,iv,pt,aad,ct,tag", CAVP_ENCRYPT_VECTORS,
+                             ids=[f"vec{i}" for i in
+                                  range(len(CAVP_ENCRYPT_VECTORS))])
+    def test_seal_truncated(self, key, iv, pt, aad, ct, tag, tag_bits):
+        gcm = AESGCM(bytes.fromhex(key), tag_length=tag_bits // 8)
+        result = gcm.seal(bytes.fromhex(iv), bytes.fromhex(pt),
+                          bytes.fromhex(aad))
+        assert result.ciphertext.hex() == ct
+        assert result.tag == bytes.fromhex(tag)[: tag_bits // 8]
+
+    @pytest.mark.parametrize("tag_bits", [32, 64])
+    @pytest.mark.parametrize("key,iv,pt,aad,ct,tag", CAVP_ENCRYPT_VECTORS,
+                             ids=[f"vec{i}" for i in
+                                  range(len(CAVP_ENCRYPT_VECTORS))])
+    def test_open_truncated(self, key, iv, pt, aad, ct, tag, tag_bits):
+        gcm = AESGCM(bytes.fromhex(key), tag_length=tag_bits // 8)
+        opened = gcm.open(bytes.fromhex(iv), bytes.fromhex(ct),
+                          bytes.fromhex(tag)[: tag_bits // 8],
+                          bytes.fromhex(aad))
+        assert opened.hex() == pt
+
+    @pytest.mark.parametrize("tag_bits", [32, 64])
+    def test_flipped_truncated_tag_rejected(self, tag_bits):
+        key, iv, pt, aad, ct, tag = CAVP_ENCRYPT_VECTORS[2]
+        gcm = AESGCM(bytes.fromhex(key), tag_length=tag_bits // 8)
+        bad = bytearray(bytes.fromhex(tag)[: tag_bits // 8])
+        bad[-1] ^= 0x80
+        with pytest.raises(AuthenticationError):
+            gcm.open(bytes.fromhex(iv), bytes.fromhex(ct), bytes(bad),
+                     bytes.fromhex(aad))
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return data + b"\x00" * (16 - remainder) if remainder else data
+
+
+def _encrypt_one(key: bytes, block: bytes, kernel: str) -> bytes:
+    aes = AES128(key)
+    if kernel == "scalar":
+        return aes.encrypt_block_scalar(block)
+    if kernel == "vector":
+        return vector_aes(key).encrypt_blocks([block])[0]
+    return aes.encrypt_block(block)
+
+
+def _ghash_kernel(h: bytes, chunks: list[bytes], kernel: str) -> bytes:
+    if kernel == "scalar":
+        return _ghash_chunks_scalar(h, chunks)
+    if kernel == "vector":
+        return ghash_chunks_many(h, [b"".join(chunks)])[0]
+    return ghash_chunks(h, chunks)
+
+
+KERNEL_IDS = ["scalar", "table",
+              pytest.param("vector",
+                           marks=pytest.mark.skipif(
+                               not HAVE_NUMPY,
+                               reason="vector kernel needs numpy"))]
+
+
+class TestCAVPAllKernels:
+    """Recompute every CAVP tag from each kernel's own primitives.
+
+    The subkey derivation, GHASH chain, and final pad encryption are all
+    rebuilt from the named kernel's AES and GHASH entry points — so a
+    kernel that diverged anywhere in the GCM pipeline would miss the
+    known answer, at full and truncated tag lengths alike.
+    """
+
+    @pytest.mark.parametrize("kernel", KERNEL_IDS)
+    @pytest.mark.parametrize("tag_bits", [32, 64, 128])
+    @pytest.mark.parametrize("key,iv,pt,aad,ct,tag", CAVP_ENCRYPT_VECTORS,
+                             ids=[f"vec{i}" for i in
+                                  range(len(CAVP_ENCRYPT_VECTORS))])
+    def test_tag_from_kernel_primitives(self, key, iv, pt, aad, ct, tag,
+                                        tag_bits, kernel):
+        key_b, iv_b = bytes.fromhex(key), bytes.fromhex(iv)
+        aad_b, ct_b = bytes.fromhex(aad), bytes.fromhex(ct)
+        h = _encrypt_one(key_b, bytes(16), kernel)
+        padded = _pad16(aad_b) + _pad16(ct_b)
+        chunks = [padded[i:i + 16] for i in range(0, len(padded), 16)]
+        length_block = ((len(aad_b) * 8).to_bytes(8, "big")
+                        + (len(ct_b) * 8).to_bytes(8, "big"))
+        digest = _ghash_kernel(h, chunks + [length_block], kernel)
+        j0 = iv_b + b"\x00\x00\x00\x01"
+        pad = _encrypt_one(key_b, j0, kernel)
+        computed = bytes(d ^ p for d, p in zip(digest, pad))
+        assert computed[: tag_bits // 8] == bytes.fromhex(tag)[: tag_bits // 8]
 
 
 class TestGHASHObject:

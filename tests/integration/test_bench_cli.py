@@ -1,0 +1,142 @@
+"""The ``python -m repro bench`` perf-regression harness, end to end.
+
+The CI gate consumes this command as a black box: stdout must be exactly
+one schema-versioned JSON document, the exit code must be 0 on a clean
+run and 2 when the regression gate trips, and the ``--out`` file must be
+the same report byte-for-byte-parseable.  These tests pin that contract
+with real subprocess invocations (quick mode, so the whole file stays in
+tier-1 time budget).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import (
+    BENCH_ID,
+    BENCH_SCHEMA,
+    load_report,
+    validate_report,
+)
+
+
+def run_bench(*args, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "bench", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+@pytest.fixture(scope="module")
+def quick_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "report.json"
+    result = run_bench("--quick", "--json", "--seed", "3",
+                       "--out", str(out))
+    return result, out
+
+
+class TestJSONContract:
+    def test_exit_code_clean(self, quick_run):
+        result, _ = quick_run
+        assert result.returncode == 0, result.stderr
+
+    def test_stdout_is_exactly_one_json_document(self, quick_run):
+        result, _ = quick_run
+        # json.loads on the whole stream fails if anything but the one
+        # document (progress lines, warnings) leaked onto stdout.
+        report = json.loads(result.stdout)
+        assert isinstance(report, dict)
+
+    def test_progress_goes_to_stderr_not_stdout(self, quick_run):
+        result, _ = quick_run
+        assert "bench: timing crypto micros" in result.stderr
+        assert not result.stdout.lstrip().startswith("bench")
+
+    def test_report_passes_schema_validation(self, quick_run):
+        result, _ = quick_run
+        report = json.loads(result.stdout)
+        validate_report(report)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["bench_id"] == BENCH_ID
+        assert report["quick"] is True
+        assert report["seed"] == 3
+
+    def test_out_file_matches_stdout(self, quick_run):
+        result, out = quick_run
+        on_disk = load_report(str(out))
+        assert on_disk == json.loads(result.stdout)
+
+    def test_gate_metrics_are_positive_numbers(self, quick_run):
+        result, _ = quick_run
+        report = json.loads(result.stdout)
+        assert report["gate_metrics"]
+        for name, value in report["gate_metrics"].items():
+            assert isinstance(value, float) and value > 0, name
+
+
+class TestRegressionGate:
+    def test_gate_against_own_baseline_passes(self, quick_run):
+        # Quick-mode micros run 1 repeat over 64 blocks, so speedups are
+        # noisy under parallel test load; a wide tolerance keeps this a
+        # test of the gate plumbing rather than of timer stability (the
+        # doctored-baseline test below covers actual tripping).
+        _, out = quick_run
+        result = run_bench("--quick", "--json", "--seed", "3",
+                           "--baseline", str(out), "--tolerance", "0.75")
+        assert result.returncode == 0, result.stderr
+        gate = json.loads(result.stdout)["regression_gate"]
+        assert gate["ok"] is True
+        assert gate["tolerance"] == pytest.approx(0.75)
+
+    def test_gate_trips_on_doctored_baseline(self, quick_run, tmp_path):
+        # A baseline claiming 10x today's numbers must read as a >10%
+        # regression and exit 2.
+        _, out = quick_run
+        doctored = load_report(str(out))
+        doctored["gate_metrics"] = {
+            name: value * 10.0
+            for name, value in doctored["gate_metrics"].items()
+        }
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored))
+        result = run_bench("--quick", "--json", "--seed", "3",
+                           "--baseline", str(path))
+        assert result.returncode == 2, result.stderr
+        gate = json.loads(result.stdout)["regression_gate"]
+        assert gate["ok"] is False
+        assert gate["geomean_ratio"] < 0.9
+
+    def test_missing_baseline_is_exit_2(self, tmp_path):
+        result = run_bench("--quick", "--json",
+                           "--baseline", str(tmp_path / "nope.json"))
+        assert result.returncode == 2
+
+    def test_corrupt_baseline_schema_is_exit_2(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        result = run_bench("--quick", "--json", "--baseline", str(path))
+        assert result.returncode == 2
+
+    def test_quick_refuses_full_baseline(self, quick_run, tmp_path):
+        _, out = quick_run
+        full_ish = load_report(str(out))
+        full_ish["quick"] = False
+        path = tmp_path / "full.json"
+        path.write_text(json.dumps(full_ish))
+        result = run_bench("--quick", "--json", "--baseline", str(path))
+        assert result.returncode == 2
+
+
+class TestHumanOutput:
+    def test_table_mode_mentions_kernels_and_gate(self, quick_run):
+        _, out = quick_run
+        result = run_bench("--quick", "--seed", "3",
+                           "--baseline", str(out), "--tolerance", "0.75")
+        assert result.returncode == 0, result.stderr
+        for token in ("pad_generation", "vector", "ghash"):
+            assert token in result.stdout
+        # human mode must never be mistaken for the JSON contract
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(result.stdout)

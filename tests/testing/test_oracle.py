@@ -130,7 +130,7 @@ class TestColdSweepCatchesPersistentCorruption:
 class TestDifferentialChecks:
     def test_all_pairs_agree(self):
         results = run_differential_checks(0)
-        assert len(results) == 4
+        assert len(results) == 5
         for check in results:
             assert check.passed, f"{check.name}: {check.detail}"
 
@@ -141,4 +141,14 @@ class TestDifferentialChecks:
             "ghash-table-vs-bitwise",
             "batched-vs-scalar[split+gcm]",
             "split-vs-mono64-plaintext",
+            "vector-vs-table-kernels",
         }
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_vector_kernel_check_passes_seeded(self, seed):
+        # Regression pin for the vector backend's oracle registration:
+        # the check must exist and agree with the table kernels on the
+        # seeds the fuzz harness replays.
+        checks = {c.name: c for c in run_differential_checks(seed)}
+        vector = checks["vector-vs-table-kernels"]
+        assert vector.passed, vector.detail
