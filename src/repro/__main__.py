@@ -55,24 +55,17 @@ from repro.workloads import SPEC_APPS
 
 
 def _cmd_schemes(args) -> int:
+    schemes = api.list_schemes()
     if args.json:
-        print(json.dumps({
-            name: {
-                "encryption": config.encryption.value,
-                "counters": config.counter_org.value,
-                "auth": config.auth.value,
-                "mac_bits": config.mac_bits,
-            }
-            for name, config in (
-                (n, api.get_config(n)) for n in api.list_configs()
-            )
-        }, indent=2))
+        print(json.dumps({info.name: info.to_dict() for info in schemes},
+                         indent=2))
         return 0
-    for name in api.list_configs():
-        config = api.get_config(name)
-        print(f"{name:<14} encryption={config.encryption.value:<8} "
-              f"counters={config.counter_org.value:<10} "
-              f"auth={config.auth.value}")
+    for info in schemes:
+        counters = info.counters if info.counters is not None else "-"
+        print(f"{info.name:<14} encryption={info.encryption:<8} "
+              f"counters={counters:<10} "
+              f"auth={info.auth:<5} integrity={info.integrity:<7} "
+              f"{info.summary}")
     return 0
 
 
@@ -125,10 +118,10 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from repro.testing import format_report, run_fuzz
+    from repro.testing import format_report
 
     try:
-        report = run_fuzz(
+        report = api.fuzz(
             campaigns=args.campaigns, seed=args.seed,
             presets=args.preset or None, weaken=args.weaken,
             num_ops=args.ops, shrink=not args.no_shrink,
@@ -234,7 +227,7 @@ def _cmd_profile(args) -> int:
     if args.json:
         print(json.dumps(profiled.to_dict(), indent=2))
         return 0 if profiled.ok else 1
-    result = profiled.result
+    result = profiled.run
     print(f"app={args.app} scheme={args.scheme} refs={args.refs}")
     print(f"  normalized IPC      : {result.normalized_ipc:.3f}")
     print(f"  misses attributed   : {report.misses}")
@@ -256,8 +249,9 @@ def _cmd_bench(args) -> int:
     def progress(message: str) -> None:
         print(message, file=sys.stderr)
 
-    report = api.bench(seed=args.seed, quick=args.quick,
+    result = api.bench(seed=args.seed, quick=args.quick,
                        progress=progress)
+    report = result.report
     baseline = None
     if args.baseline is not None:
         try:

@@ -28,10 +28,17 @@ from __future__ import annotations
 
 import difflib
 import math
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.core.config import PRESETS, SecureMemoryConfig
+from repro.core.results import (
+    RESULT_SCHEMA,
+    ResultBase,
+    ResultMeta,
+    config_fingerprint,
+)
 from repro.obs import (
     AttributionReport,
     RecordingTracer,
@@ -44,13 +51,20 @@ from repro.sim import LoopState, Processor, SimResult, simulate
 from repro.workloads import SPEC_APPS, spec_trace
 
 __all__ = [
+    "BenchResult",
+    "ComponentInfo",
     "Experiment",
     "ExperimentResult",
     "ProfileResult",
+    "RESULT_SCHEMA",
+    "ResultMeta",
+    "SchemeInfo",
     "bench",
+    "describe_scheme",
     "fuzz",
     "get_config",
     "list_configs",
+    "list_schemes",
     "profile",
     "run",
     "run_many",
@@ -62,31 +76,121 @@ def list_configs() -> list[str]:
     return list(PRESETS)
 
 
-def get_config(name: str, **overrides: Any) -> SecureMemoryConfig:
+def get_config(name: str | None = None, *, preset: str | None = None,
+               **overrides: Any) -> SecureMemoryConfig:
     """Look up a preset by its benchmark label, optionally overriding fields.
 
-    Unknown labels raise :class:`KeyError` with close-match suggestions
-    (``get_config("spilt")`` → *did you mean 'split'?*).  Overrides go
-    through :meth:`SecureMemoryConfig.with_updates`, so they are validated
-    like any other construction.
+    The label can be passed positionally or as ``preset=``; exactly one of
+    the two must be given.  Unknown labels raise :class:`KeyError` with
+    close-match suggestions (``get_config("spilt")`` → *did you mean
+    'split'?*).  Overrides go through
+    :meth:`SecureMemoryConfig.with_updates`, so they are validated like any
+    other construction.
     """
+    if (name is None) == (preset is None):
+        raise TypeError(
+            "get_config takes exactly one scheme label: positional name or "
+            "preset=")
+    label = name if name is not None else preset
     try:
-        config = PRESETS[name]
+        config = PRESETS[label]
     except KeyError:
-        suggestions = difflib.get_close_matches(name, PRESETS, n=3)
+        suggestions = difflib.get_close_matches(label, PRESETS, n=3)
         hint = (
             f"; did you mean {' or '.join(repr(s) for s in suggestions)}?"
             if suggestions else ""
         )
         raise KeyError(
-            f"unknown config {name!r}{hint} "
+            f"unknown config {label!r}{hint} "
             f"(choose from: {', '.join(PRESETS)})"
         ) from None
     return config.with_updates(**overrides) if overrides else config
 
 
+# -- scheme registry views ----------------------------------------------------
+
 @dataclass(frozen=True)
-class ExperimentResult:
+class ComponentInfo:
+    """One mechanism of a scheme, as registered in the scheme registry."""
+
+    kind: str
+    name: str
+    summary: str
+    provides: tuple[str, ...]
+    requires: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["provides"] = list(self.provides)
+        payload["requires"] = list(self.requires)
+        return payload
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Structured description of one registered scheme.
+
+    ``encryption``/``counters``/``auth``/``mac_bits``/``integrity`` echo
+    the resolved configuration (the stable CLI JSON contract);
+    ``components`` and ``capabilities`` expose the registry's view of how
+    the scheme is composed.
+    """
+
+    name: str
+    summary: str
+    encryption: str
+    counters: str | None
+    auth: str
+    mac_bits: int
+    integrity: str
+    capabilities: tuple[str, ...]
+    components: tuple[ComponentInfo, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["capabilities"] = list(self.capabilities)
+        payload["components"] = [c.to_dict() for c in self.components]
+        return payload
+
+
+def describe_scheme(name: str) -> SchemeInfo:
+    """Describe one registered scheme (preset) as structured data."""
+    from repro.schemes import REGISTRY
+
+    composition = REGISTRY.scheme(name)
+    config = get_config(name)
+    specs = [REGISTRY.component(kind, comp_name)
+             for kind, comp_name in composition.component_names()]
+    return SchemeInfo(
+        name=composition.name,
+        summary=composition.summary,
+        encryption=config.encryption.value,
+        counters=(config.counter_org.value if config.uses_counters
+                  else None),
+        auth=config.auth.value,
+        mac_bits=config.mac_bits,
+        integrity=config.resolved_integrity.value,
+        capabilities=tuple(sorted(
+            {cap for spec in specs for cap in spec.provides}
+        )),
+        components=tuple(
+            ComponentInfo(kind=spec.kind, name=spec.name,
+                          summary=spec.summary, provides=spec.provides,
+                          requires=spec.requires)
+            for spec in specs
+        ),
+    )
+
+
+def list_schemes() -> list[SchemeInfo]:
+    """Every registered scheme, in registration (display) order."""
+    from repro.schemes import REGISTRY
+
+    return [describe_scheme(name) for name in REGISTRY.scheme_names()]
+
+
+@dataclass(frozen=True)
+class ExperimentResult(ResultBase):
     """Headline metrics of one simulated design point.
 
     ``to_dict()`` returns the same fields as a JSON-ready mapping — this is
@@ -112,6 +216,7 @@ class ExperimentResult:
     page_reencryptions: int
     mean_page_reencryption_cycles: float
     full_reencryptions: int
+    meta: ResultMeta | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -228,6 +333,11 @@ class Experiment:
                 reenc.mean_page_cycles if reenc.page_reencryptions else 0.0
             ),
             full_reencryptions=reenc.full_reencryptions,
+            meta=ResultMeta(
+                kind="run",
+                config_fingerprint=config_fingerprint(self.config),
+                preset=self.config.name,
+            ),
         )
 
     def _app_name(self) -> str:
@@ -330,16 +440,25 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
 
 
 @dataclass
-class ProfileResult:
+class ProfileResult(ResultBase):
     """Outcome of a traced, attribution-checked run."""
 
-    result: ExperimentResult
+    run: ExperimentResult
     attribution: AttributionReport
     tracer: RecordingTracer
     tolerance: float
     trace_path: str | None = None
     csv_path: str | None = None
     metrics: dict[str, Any] = field(default_factory=dict)
+    meta: ResultMeta | None = None
+
+    @property
+    def result(self) -> ExperimentResult:
+        """Deprecated alias of :attr:`run` (pre-ResultBase field name)."""
+        warnings.warn(
+            "ProfileResult.result is deprecated; use ProfileResult.run",
+            DeprecationWarning, stacklevel=2)
+        return self.run
 
     @property
     def ok(self) -> bool:
@@ -348,7 +467,7 @@ class ProfileResult:
 
     def to_dict(self) -> dict[str, Any]:
         return {
-            "result": self.result.to_dict(),
+            "run": self.run.to_dict(),
             "attribution": self.attribution.to_dict(),
             "events": len(self.tracer.events),
             "misses": len(self.tracer.misses),
@@ -356,6 +475,7 @@ class ProfileResult:
             "ok": self.ok,
             "trace_path": self.trace_path,
             "csv_path": self.csv_path,
+            "meta": self.meta_dict(),
         }
 
 
@@ -387,22 +507,60 @@ def profile(config: SecureMemoryConfig | str, workload: Any = "swim", *,
         for name, value in snapshot.items()
         if isinstance(value, (int, float))
     }
-    return ProfileResult(result=result, attribution=report, tracer=tracer,
+    return ProfileResult(run=result, attribution=report, tracer=tracer,
                          tolerance=tolerance, trace_path=trace_out,
-                         csv_path=csv_out, metrics=metrics)
+                         csv_path=csv_out, metrics=metrics,
+                         meta=ResultMeta(
+                             kind="profile",
+                             config_fingerprint=config_fingerprint(
+                                 experiment.config),
+                             preset=experiment.config.name,
+                         ))
 
 
-def bench(**kwargs: Any) -> dict[str, Any]:
-    """Run the perf-regression bench suite and return its report dict.
+@dataclass
+class BenchResult(ResultBase):
+    """Outcome of the perf-regression bench suite.
 
-    A facade over :func:`repro.bench.run_bench` (imported lazily).  The
-    report is schema-versioned (see :data:`repro.bench.BENCH_SCHEMA`) and
-    is what ``python -m repro bench --json`` prints; diff two of them with
+    ``report`` is the schema-versioned dict ``python -m repro bench --json``
+    prints (see :data:`repro.bench.BENCH_SCHEMA`); diff two with
     :func:`repro.bench.compare_reports`.
+    """
+
+    report: dict[str, Any]
+    meta: ResultMeta | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the report passed its own validation (it always has
+        by the time :func:`bench` returns — run_bench validates)."""
+        return bool(self.report)
+
+    def __getitem__(self, key: str) -> Any:
+        """Deprecated dict-style access from when ``bench()`` returned the
+        raw report; use :attr:`report` instead."""
+        warnings.warn(
+            "indexing BenchResult is deprecated; use BenchResult.report",
+            DeprecationWarning, stacklevel=2)
+        return self.report[key]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"report": self.report, "meta": self.meta_dict()}
+
+
+def bench(**kwargs: Any) -> BenchResult:
+    """Run the perf-regression bench suite.
+
+    A facade over :func:`repro.bench.run_bench` (imported lazily).  Returns
+    a :class:`BenchResult` whose ``report`` holds the schema-versioned
+    report dict.
     """
     from repro.bench import run_bench
 
-    return run_bench(**kwargs)
+    report = run_bench(**kwargs)
+    return BenchResult(report=report,
+                       meta=ResultMeta(kind="bench",
+                                       seed=kwargs.get("seed")))
 
 
 def fuzz(campaigns: int = 20, seed: int = 0, **kwargs: Any):
@@ -415,4 +573,7 @@ def fuzz(campaigns: int = 20, seed: int = 0, **kwargs: Any):
     """
     from repro.testing import run_fuzz
 
-    return run_fuzz(campaigns, seed, **kwargs)
+    report = run_fuzz(campaigns, seed, **kwargs)
+    report.meta = ResultMeta(kind="fuzz", seed=seed,
+                             preset=",".join(report.presets))
+    return report

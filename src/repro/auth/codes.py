@@ -93,6 +93,33 @@ def build_geometry(num_leaves: int, block_size: int,
     )
 
 
+def build_flat_geometry(num_leaves: int, block_size: int,
+                        mac_bits: int) -> TreeGeometry:
+    """One-level geometry for SecDDR-style MAC-of-MACs integrity.
+
+    Leaf MACs are grouped into level-1 code blocks exactly as in the tree,
+    but there is no level above them: each group block's own MAC lives in
+    an on-chip table, so verification fetches at most one code block no
+    matter how large memory is.  ``level_sizes[-1]`` is the group count,
+    not 1 — consumers that assume a single root must not use this geometry
+    (the SecDDR authenticator and the timing chain walk are level-agnostic).
+    """
+    if num_leaves < 1:
+        raise ValueError("flat geometry needs at least one leaf")
+    mac_bytes = mac_bits // 8
+    arity = block_size // mac_bytes
+    if arity < 2:
+        raise ValueError("MAC too large for block size: arity < 2")
+    ngroups = -(-num_leaves // arity)  # ceil
+    return TreeGeometry(
+        num_leaves=num_leaves,
+        arity=arity,
+        block_size=block_size,
+        mac_bytes=mac_bytes,
+        level_sizes=(num_leaves, ngroups),
+    )
+
+
 def merkle_levels_for_memory(memory_bytes: int, block_size: int,
                              mac_bits: int) -> int:
     """Tree depth for a memory of a given size — used by the timing model.

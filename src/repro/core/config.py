@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from types import MappingProxyType
 from typing import Mapping
 
 from repro.auth.policies import AuthPolicy
@@ -32,6 +31,21 @@ class EncryptionMode(enum.Enum):
     NONE = "none"
     DIRECT = "direct"        # AES applied to the data itself (XOM-style)
     COUNTER = "counter"      # counter-mode with a per-scheme counter org
+    #: k-of-n Shamir secret sharing (Secure Scattered Memory): DRAM holds n
+    #: share blocks per data block, any k reconstruct, fewer reveal nothing
+    SHARES = "shares"
+
+
+class IntegrityMode(enum.Enum):
+    """Which anti-replay anchor backs the per-block MACs."""
+
+    #: resolve to the scheme's natural default (the Merkle tree)
+    AUTO = "auto"
+    #: Bonsai-style Merkle tree over leaf MACs (the paper's design)
+    TREE = "tree"
+    #: SecDDR-style flat table: leaf MACs grouped into code blocks whose
+    #: MAC-of-MACs lives on chip — O(1) verification, no tree walk
+    SECDDR = "secddr"
 
 
 class CounterOrg(enum.Enum):
@@ -129,6 +143,12 @@ class SecureMemoryConfig:
     parallel_auth: bool = True
     mac_bits: int = DEFAULT_MAC_BITS
     authenticate_counters: bool = True
+    #: anti-replay strategy; AUTO resolves to the Merkle tree
+    integrity: IntegrityMode = IntegrityMode.AUTO
+    #: secret-sharing geometry (EncryptionMode.SHARES only): any
+    #: ``shares_k`` of the ``shares_n`` stored shares reconstruct a block
+    shares_k: int = 2
+    shares_n: int = 3
 
     block_size: int = DEFAULT_BLOCK_SIZE
     minor_bits: int = 7
@@ -192,6 +212,31 @@ class SecureMemoryConfig:
                 f"kernel must be 'auto' or one of {KERNELS}, "
                 f"got {self.kernel!r}"
             )
+        if (self.integrity is IntegrityMode.SECDDR
+                and self.auth is AuthMode.NONE):
+            raise ValueError(
+                "integrity=secddr needs per-block MACs; set auth"
+            )
+        if self.encryption is EncryptionMode.SHARES:
+            # k >= 2 keeps every stored share masked by at least one
+            # PRF-derived coefficient (k == 1 would write plaintext).
+            if not 2 <= self.shares_k <= self.shares_n <= 16:
+                raise ValueError(
+                    f"shares require 2 <= shares_k <= shares_n <= 16, got "
+                    f"shares_k={self.shares_k}, shares_n={self.shares_n}"
+                )
+            if self.auth is AuthMode.NONE:
+                raise ValueError(
+                    "shares encryption needs share-level MACs; set auth"
+                )
+            if self.counter_org is not CounterOrg.SPLIT:
+                # Counter overflow must stay a page-local event: shares are
+                # re-derived per write from (key, address, counter), and the
+                # full-memory re-encryption a monolithic/global overflow
+                # forces has no share-aware path.
+                raise ValueError(
+                    "shares encryption requires split counters"
+                )
 
     def with_updates(self, **changes) -> "SecureMemoryConfig":
         """Return a copy with the given fields replaced."""
@@ -208,8 +253,16 @@ class SecureMemoryConfig:
         """
         return (
             self.encryption is EncryptionMode.COUNTER
+            or self.encryption is EncryptionMode.SHARES
             or self.auth is AuthMode.GCM
         )
+
+    @property
+    def resolved_integrity(self) -> IntegrityMode:
+        """The concrete anti-replay backend (AUTO means the Merkle tree)."""
+        if self.integrity is IntegrityMode.AUTO:
+            return IntegrityMode.TREE
+        return self.integrity
 
 
 def _cfg(name: str, **kwargs) -> SecureMemoryConfig:
@@ -291,24 +344,44 @@ def baseline_config(**kwargs) -> SecureMemoryConfig:
     return _cfg("baseline", **kwargs)
 
 
+# -- new backends (PAPERS.md related work) ------------------------------------
+
+def secddr_config(**kwargs) -> SecureMemoryConfig:
+    """SecDDR-style preset: split + GCM with on-chip MAC-of-MACs replay
+    protection instead of a multi-level Merkle walk."""
+    return _cfg("secddr", encryption=EncryptionMode.COUNTER,
+                counter_org=CounterOrg.SPLIT, auth=AuthMode.GCM,
+                integrity=IntegrityMode.SECDDR, **kwargs)
+
+
+def scattered_config(**kwargs) -> SecureMemoryConfig:
+    """Secure Scattered Memory preset: k-of-n secret-shared blocks with
+    share-level MACs anchored in the Merkle tree."""
+    return _cfg("scattered", encryption=EncryptionMode.SHARES,
+                counter_org=CounterOrg.SPLIT, auth=AuthMode.GCM,
+                shares_k=kwargs.pop("shares_k", 2),
+                shares_n=kwargs.pop("shares_n", 3), **kwargs)
+
+
 #: every named preset, keyed by its benchmark label.  Read-only: presets are
 #: shared module state — derive variants with ``config.with_updates(...)`` or
 #: :func:`repro.api.get_config` overrides instead of mutating the mapping.
-PRESETS: Mapping[str, SecureMemoryConfig] = MappingProxyType({
-    "baseline": baseline_config(),
-    "split": split_config(),
-    "mono8b": mono_config(8),
-    "mono16b": mono_config(16),
-    "mono32b": mono_config(32),
-    "mono64b": mono_config(64),
-    "direct": direct_config(),
-    "pred": prediction_config(),
-    "pred2eng": prediction_config(aes_engines=2),
-    "gcm-auth": gcm_auth_config(),
-    "sha-auth-320": sha_auth_config(),
-    "split+gcm": split_gcm_config(),
-    "mono+gcm": mono_gcm_config(),
-    "split+sha": split_sha_config(),
-    "mono+sha": mono_sha_config(),
-    "xom+sha": xom_sha_config(),
-})
+#:
+#: The mapping is a thin view over the scheme registry
+#: (:data:`repro.schemes.REGISTRY`): it is built lazily on first attribute
+#: access (PEP 562) so this module never imports the registry at load time,
+#: and each entry is the registry's resolution of the like-named
+#: composition — field-identical to the constructor above for every legacy
+#: name.
+PRESETS: Mapping[str, SecureMemoryConfig]
+
+
+def __getattr__(name: str):
+    if name == "PRESETS":
+        from repro.schemes import preset_configs
+
+        presets = preset_configs()
+        globals()["PRESETS"] = presets
+        return presets
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -30,13 +30,15 @@ where the full verification chain is active.
 
 from __future__ import annotations
 
-from repro.auth.codes import build_geometry
+from repro.auth.codes import build_flat_geometry, build_geometry
 from repro.auth.merkle import IntegrityViolation, MerkleTree
 from repro.auth.schemes import GCMMACScheme, MACScheme, SHAMACScheme
+from repro.auth.secddr import SecDDRAuthenticator
 from repro.core.config import (
     AuthMode,
     CounterOrg,
     EncryptionMode,
+    IntegrityMode,
     SecureMemoryConfig,
 )
 from repro.core.rsr import RSRFile
@@ -50,6 +52,11 @@ from repro.counters.split import SplitCounterScheme
 from repro.crypto.aes import AES128
 from repro.crypto.ctr import CHUNK_SIZE, bulk_ctr_transform, ctr_transform
 from repro.crypto.sha1 import sha1
+from repro.crypto.shamir import (
+    coefficient_blocks,
+    reconstruct_block,
+    split_block,
+)
 from repro.crypto.vector import decrypt_blocks_kernel, resolve_kernel
 from repro.memory.cache import Cache
 from repro.memory.dram import MainMemory
@@ -111,6 +118,23 @@ class SecureMemorySystem:
         self._key_epoch = 0
         self._data_aes = AES128(_derive_key(self._base_key, b"data", 0))
 
+        # Secret-shared layout (Secure Scattered Memory): each logical data
+        # block is stored as n share blocks, share ``s`` of logical address
+        # ``a`` living at DRAM address ``s * protected_bytes + a``.  Share 0
+        # therefore occupies the classic data region, keeping every
+        # logical-address consumer (attacks, oracle layouts) valid; shares
+        # 1..n-1 extend the leaf space.  Non-shares configs collapse to
+        # n = 1 and every expression below reduces to the historical layout.
+        shares = config.encryption is EncryptionMode.SHARES
+        self._shares_k = config.shares_k if shares else 1
+        self._shares_n = config.shares_n if shares else 1
+        self._num_data_leaves = self.num_data_blocks * self._shares_n
+        self._data_region_bytes = self._num_data_leaves * self.block_size
+        self._shares_aes = (
+            AES128(_derive_key(self._base_key, b"shares", 0))
+            if shares else None
+        )
+
         # Counter machinery.
         self.counter_scheme: CounterScheme | None = None
         self.counter_cache: CounterCache | None = None
@@ -123,15 +147,18 @@ class SecureMemorySystem:
                 size_bytes=config.counter_cache_size,
                 assoc=config.counter_cache_assoc,
                 block_size=self.block_size,
-                region_base=protected_bytes,
+                region_base=self._data_region_bytes,
             )
         counter_region_bytes = self._num_counter_blocks * self.block_size
-        self._code_region_base = protected_bytes + counter_region_bytes
+        self._code_region_base = self._data_region_bytes + counter_region_bytes
 
-        # Authentication machinery.
+        # Authentication machinery.  The integrity strategy picks the
+        # geometry and the backend: a logarithmic Merkle tree, or the
+        # SecDDR-style flat MAC-of-MACs layer anchored on-chip.
         self.mac_scheme: MACScheme | None = None
-        self.merkle: MerkleTree | None = None
+        self.merkle: MerkleTree | SecDDRAuthenticator | None = None
         code_region_bytes = 0
+        flat = config.resolved_integrity is IntegrityMode.SECDDR
         if config.auth is not AuthMode.NONE:
             if config.auth is AuthMode.GCM:
                 self.mac_scheme = GCMMACScheme(
@@ -142,9 +169,9 @@ class SecureMemorySystem:
                 self.mac_scheme = SHAMACScheme(
                     _derive_key(self._base_key, b"mac"), config.mac_bits
                 )
-            num_leaves = self.num_data_blocks + self._num_counter_blocks
-            geometry = build_geometry(num_leaves, self.block_size,
-                                      config.mac_bits)
+            num_leaves = self._num_data_leaves + self._num_counter_blocks
+            build = build_flat_geometry if flat else build_geometry
+            geometry = build(num_leaves, self.block_size, config.mac_bits)
             code_region_bytes = geometry.total_code_blocks * self.block_size
 
         # ``dram_factory`` lets a harness substitute an instrumented device
@@ -156,7 +183,8 @@ class SecureMemorySystem:
                               latency_cycles=config.memory_latency)
 
         if self.mac_scheme is not None:
-            self.merkle = MerkleTree(
+            backend = SecDDRAuthenticator if flat else MerkleTree
+            self.merkle = backend(
                 geometry, self.mac_scheme, self.dram,
                 code_region_base=self._code_region_base,
                 node_cache_bytes=config.node_cache_size,
@@ -223,8 +251,15 @@ class SecureMemorySystem:
     def _data_leaf_index(self, address: int) -> int:
         return address // self.block_size
 
+    def _share_address(self, share: int, address: int) -> int:
+        """DRAM address of share ``share`` of logical block ``address``."""
+        return share * self.protected_bytes + address
+
+    def _share_leaf_index(self, share: int, address: int) -> int:
+        return share * self.num_data_blocks + address // self.block_size
+
     def _counter_leaf_index(self, counter_block_index: int) -> int:
-        return self.num_data_blocks + counter_block_index
+        return self._num_data_leaves + counter_block_index
 
     # -- encryption primitives --------------------------------------------------
 
@@ -346,7 +381,64 @@ class SecureMemorySystem:
                 quarantine_addresses=quarantine,
             )
 
+    # -- secret-shared data path (Secure Scattered Memory) ------------------------
+
+    def _fetch_shares(self, address: int, counter: int, *,
+                      label: str = "data") -> bytes:
+        """Fetch and verify shares 0..k-1, then reconstruct the plaintext.
+
+        Each share is its own Merkle leaf, so tampering with any fetched
+        share image is caught before it enters reconstruction.  Shares
+        k..n-1 are redundancy: written on every write-back but never read
+        on the common path, so corrupting one is a durability loss, not an
+        integrity event.
+        """
+        shares: list[tuple[int, bytes]] = []
+        for s in range(self._shares_k):
+            mem_address = self._share_address(s, address)
+            image = self.dram.read_block(mem_address)
+            if self.merkle is not None:
+                image = self._verified_leaf_fetch(
+                    self._share_leaf_index(s, address), mem_address, counter,
+                    image, label=label,
+                    # Fence the logical page, not the share region slice.
+                    quarantine=[address, address],
+                )
+            shares.append((s, image))
+        return reconstruct_block(shares)
+
+    def _write_back_shares(self, address: int, counter: int,
+                           plaintext: bytes) -> None:
+        """Split a block into n shares and store/MAC every one of them."""
+        assert self._shares_aes is not None
+        coefficients = coefficient_blocks(
+            self._shares_aes, address, counter, self.block_size,
+            self._shares_k,
+        )
+        images = split_block(bytes(plaintext), coefficients, self._shares_n)
+        for s, image in enumerate(images):
+            mem_address = self._share_address(s, address)
+            self.dram.write_block(mem_address, image)
+            if self.merkle is not None:
+                self.merkle.update_leaf(
+                    self._share_leaf_index(s, address), mem_address, counter,
+                    image,
+                )
+
     # -- fetch / write-back -------------------------------------------------------
+
+    def _fetch_plaintext_uncached(self, address: int, counter: int, *,
+                                  label: str = "data") -> bytes:
+        """Fetch, verify, and decode one materialized block, bypassing the L2."""
+        if self.config.encryption is EncryptionMode.SHARES:
+            return self._fetch_shares(address, counter, label=label)
+        ciphertext = self.dram.read_block(address)
+        if self.merkle is not None:
+            ciphertext = self._verified_leaf_fetch(
+                self._data_leaf_index(address), address, counter, ciphertext,
+                label=label,
+            )
+        return self._decrypt(address, counter, ciphertext)
 
     def _fetch_block(self, address: int) -> bytearray:
         """L2 miss path: fetch, decrypt, and authenticate one data block."""
@@ -354,12 +446,7 @@ class SecureMemorySystem:
         if address not in self._materialized:
             return bytearray(self.block_size)
         counter = self._counter_for(address, for_write=False)
-        ciphertext = self.dram.read_block(address)
-        if self.merkle is not None:
-            ciphertext = self._verified_leaf_fetch(
-                self._data_leaf_index(address), address, counter, ciphertext
-            )
-        return bytearray(self._decrypt(address, counter, ciphertext))
+        return bytearray(self._fetch_plaintext_uncached(address, counter))
 
     def _write_back(self, address: int, plaintext: bytes) -> None:
         """Dirty-eviction path: encrypt, store, and re-MAC one data block."""
@@ -380,9 +467,12 @@ class SecureMemorySystem:
             elif result.action is OverflowAction.FULL_REENCRYPTION:
                 self._full_reencrypt(address)
                 counter = 1
+        self._materialized.add(address)
+        if self.config.encryption is EncryptionMode.SHARES:
+            self._write_back_shares(address, counter, plaintext)
+            return
         ciphertext = self._encrypt(address, counter, plaintext)
         self.dram.write_block(address, ciphertext)
-        self._materialized.add(address)
         if self.merkle is not None:
             self.merkle.update_leaf(
                 self._data_leaf_index(address), address, counter, ciphertext
@@ -405,6 +495,11 @@ class SecureMemorySystem:
         dedup) and all counter-mode pads are generated with a single AES
         dispatch.  Returns plaintext per address.
         """
+        if self.config.encryption is EncryptionMode.SHARES:
+            # Scattered blocks fan out to k share fetches with per-share
+            # verification; the scalar path already expresses that exactly.
+            return {address: self._fetch_block(address)
+                    for address in addresses}
         out: dict[int, bytearray] = {}
         fetched: list[tuple[int, int, bytes]] = []  # (addr, counter, ct)
         for address in addresses:
@@ -511,14 +606,10 @@ class SecureMemorySystem:
                 continue
             # Fetch, decrypt under (old major, old minor), re-encrypt under
             # the new major; not cached, immediately written back.
-            ciphertext = self.dram.read_block(block_address)
             old_counter = scheme.counter_with_major(block_address, old_major)
-            if self.merkle is not None:
-                ciphertext = self._verified_leaf_fetch(
-                    self._data_leaf_index(block_address), block_address,
-                    old_counter, ciphertext, label="reencrypt",
-                )
-            plaintext = self._decrypt(block_address, old_counter, ciphertext)
+            plaintext = self._fetch_plaintext_uncached(
+                block_address, old_counter, label="reencrypt"
+            )
             scheme.reset_minor(block_address)
             stats.blocks_fetched += 1
             stats.blocks_reencrypted += 1

@@ -1,0 +1,148 @@
+"""k-of-n secret sharing over GF(256) for scattered memory blocks.
+
+Secure Scattered Memory (arXiv:2402.15824) replaces the ciphertext of a
+cache block with *n* Shamir shares, any *k* of which reconstruct the
+plaintext while any k-1 reveal nothing.  We share byte-wise: byte ``j`` of
+the block is the constant term of a degree-(k-1) polynomial over GF(256),
+and share ``s`` stores that polynomial evaluated at ``x = s + 1``.
+
+The k-1 non-constant coefficient bytes are not random — they are keystream
+bytes derived from the AES share key with the same seed discipline as
+counter-mode encryption (chunk address || write counter || IV tag), one IV
+tag per coefficient degree.  That keeps sharing deterministic (replayable
+from (key, address, counter), no stored randomness) while preserving the
+hiding property: to an observer without the key each coefficient is a PRF
+output, so any single share is plaintext XOR/combined with unknown pad
+material, exactly as strong as a CTR ciphertext.  Counter uniqueness —
+the same invariant the encryption path already maintains — guarantees
+coefficients never repeat across write-backs of one address.
+
+GF(256) uses the AES polynomial x^8+x^4+x^3+x+1 (0x11B) with generator
+0x03, so the log/exp tables match the field the rest of the crypto layer
+computes in.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import CHUNK_SIZE, make_seed
+
+#: IV-tag base for coefficient keystreams; degree ``d`` (1-based) uses
+#: SHARE_IV_BASE + d, keeping every degree's pads domain-separated from
+#: each other and from the ENCRYPTION_IV / AUTHENTICATION_IV streams.
+SHARE_IV_BASE = 0x5AA0
+
+MAX_SHARES = 16
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value ^= (value << 1) & 0xFF ^ (0x1B if value & 0x80 else 0)
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(256) (AES polynomial)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def coefficient_blocks(aes: AES128, block_address: int, counter: int,
+                       block_size: int, k: int) -> list[bytes]:
+    """Derive the k-1 deterministic coefficient blocks for one cache block.
+
+    Returns coefficient streams for degrees 1..k-1, each ``block_size``
+    bytes, generated chunk-by-chunk with the standard seed layout so the
+    uniqueness argument is the CTR one verbatim.
+    """
+    if block_size % CHUNK_SIZE:
+        raise ValueError("block size must be a whole number of 16-byte chunks")
+    num_chunks = block_size // CHUNK_SIZE
+    seeds = [
+        make_seed(block_address + chunk * CHUNK_SIZE, counter,
+                  SHARE_IV_BASE + degree)
+        for degree in range(1, k)
+        for chunk in range(num_chunks)
+    ]
+    pads = aes.encrypt_blocks(seeds)
+    return [
+        b"".join(pads[d * num_chunks:(d + 1) * num_chunks])
+        for d in range(k - 1)
+    ]
+
+
+def split_block(data: bytes, coefficients: list[bytes], n: int) -> list[bytes]:
+    """Produce the n share images of one block.
+
+    Share ``s`` (0-based) evaluates every byte polynomial at ``x = s + 1``;
+    x = 0 is never used (it would store the plaintext itself).
+    """
+    k = len(coefficients) + 1
+    if not 2 <= k <= n <= MAX_SHARES:
+        raise ValueError(f"need 2 <= k <= n <= {MAX_SHARES}, got k={k} n={n}")
+    size = len(data)
+    if any(len(c) != size for c in coefficients):
+        raise ValueError("coefficient blocks must match the data length")
+    shares = []
+    for s in range(n):
+        x = s + 1
+        share = bytearray(data)
+        x_pow = 1
+        for coeff in coefficients:
+            x_pow = gf_mul(x_pow, x)
+            for j in range(size):
+                if coeff[j]:
+                    share[j] ^= gf_mul(coeff[j], x_pow)
+        shares.append(bytes(share))
+    return shares
+
+
+def reconstruct_block(shares: list[tuple[int, bytes]]) -> bytes:
+    """Recover the plaintext block from k ``(share_index, image)`` pairs.
+
+    Lagrange interpolation at x = 0; ``share_index`` is the 0-based index
+    used by :func:`split_block` (evaluation point ``share_index + 1``).
+    """
+    if len(shares) < 2:
+        raise ValueError("reconstruction needs at least 2 shares")
+    points = [s + 1 for s, _ in shares]
+    if len(set(points)) != len(points):
+        raise ValueError("duplicate share indices")
+    size = len(shares[0][1])
+    if any(len(image) != size for _, image in shares):
+        raise ValueError("share images must all have the same length")
+    result = bytearray(size)
+    for i, (_, image) in enumerate(shares):
+        xi = points[i]
+        # Lagrange basis L_i(0) = prod_{m != i} x_m / (x_m ^ x_i)
+        num, den = 1, 1
+        for m, xm in enumerate(points):
+            if m == i:
+                continue
+            num = gf_mul(num, xm)
+            den = gf_mul(den, xm ^ xi)
+        basis = gf_mul(num, gf_inv(den))
+        if basis == 0:
+            continue
+        for j in range(size):
+            if image[j]:
+                result[j] ^= gf_mul(image[j], basis)
+    return bytes(result)

@@ -39,6 +39,7 @@ from repro.core.config import (
     AuthMode,
     CounterOrg,
     EncryptionMode,
+    IntegrityMode,
     RecoveryConfig,
     RecoveryPolicy,
     SecureMemoryConfig,
@@ -164,6 +165,7 @@ _CONFIG_ENUMS = {
     "counter_org": CounterOrg,
     "auth": AuthMode,
     "auth_policy": AuthPolicy,
+    "integrity": IntegrityMode,
 }
 
 

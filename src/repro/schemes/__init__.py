@@ -1,0 +1,32 @@
+"""Pluggable scheme registry: components, compositions, and resolution.
+
+``PRESETS`` (in :mod:`repro.core.config`) and the public API's
+``list_schemes``/``describe_scheme`` are views over :data:`REGISTRY`.  To
+add a backend, register its mechanism as a :class:`ComponentSpec` and name
+it from a :class:`SchemeComposition` — see DESIGN.md §14 for a worked
+example.
+"""
+
+from repro.schemes.compositions import (
+    BUILTIN_SCHEMES,
+    REGISTRY,
+    build_registry,
+    preset_configs,
+)
+from repro.schemes.registry import (
+    KINDS,
+    ComponentSpec,
+    SchemeComposition,
+    SchemeRegistry,
+)
+
+__all__ = [
+    "BUILTIN_SCHEMES",
+    "ComponentSpec",
+    "KINDS",
+    "REGISTRY",
+    "SchemeComposition",
+    "SchemeRegistry",
+    "build_registry",
+    "preset_configs",
+]

@@ -1,0 +1,101 @@
+"""Built-in scheme compositions: the 16 legacy presets plus two backends.
+
+``PRESETS`` in :mod:`repro.core.config` is a thin view over this table —
+the mapping is built lazily on first access and resolves each composition
+through the global registry.  Order matters: consumers display presets in
+registration order, and downstream baselines key on the legacy names
+coming first.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.schemes.components import register_builtin_components
+from repro.schemes.registry import SchemeComposition, SchemeRegistry
+
+BUILTIN_SCHEMES = (
+    SchemeComposition(
+        name="baseline", summary="no protection (IPC reference)",
+        codec="plaintext", counter="none", mac="none", integrity="none"),
+    SchemeComposition(
+        name="split", summary="split-counter encryption, no authentication",
+        codec="aes-ctr", counter="split", mac="none", integrity="none"),
+    SchemeComposition(
+        name="mono8b", summary="8-bit monolithic counter encryption",
+        codec="aes-ctr", counter="mono8", mac="none", integrity="none"),
+    SchemeComposition(
+        name="mono16b", summary="16-bit monolithic counter encryption",
+        codec="aes-ctr", counter="mono16", mac="none", integrity="none"),
+    SchemeComposition(
+        name="mono32b", summary="32-bit monolithic counter encryption",
+        codec="aes-ctr", counter="mono32", mac="none", integrity="none"),
+    SchemeComposition(
+        name="mono64b", summary="64-bit monolithic counter encryption",
+        codec="aes-ctr", counter="mono64", mac="none", integrity="none"),
+    SchemeComposition(
+        name="direct", summary="direct AES encryption (XOM-style latency)",
+        codec="aes-direct", counter="none", mac="none", integrity="none"),
+    SchemeComposition(
+        name="pred", summary="counter prediction, one AES engine",
+        codec="aes-ctr", counter="prediction", mac="none", integrity="none"),
+    SchemeComposition(
+        name="pred2eng", summary="counter prediction, two AES engines",
+        codec="aes-ctr", counter="prediction", mac="none", integrity="none",
+        overrides=(("aes_engines", 2),)),
+    SchemeComposition(
+        name="gcm-auth", summary="GCM authentication only (no encryption)",
+        codec="plaintext", counter="split", mac="gcm", integrity="tree"),
+    SchemeComposition(
+        name="sha-auth-320", summary="SHA-1 authentication only",
+        codec="plaintext", counter="none", mac="sha1", integrity="tree",
+        overrides=(("sha_latency", 320.0),)),
+    SchemeComposition(
+        name="split+gcm", summary="the paper's default: split + GCM + tree",
+        codec="aes-ctr", counter="split", mac="gcm", integrity="tree"),
+    SchemeComposition(
+        name="mono+gcm", summary="monolithic counters + GCM + tree",
+        codec="aes-ctr", counter="mono64", mac="gcm", integrity="tree"),
+    SchemeComposition(
+        name="split+sha", summary="split counters + SHA-1 MACs + tree",
+        codec="aes-ctr", counter="split", mac="sha1", integrity="tree"),
+    SchemeComposition(
+        name="mono+sha", summary="monolithic counters + SHA-1 MACs + tree",
+        codec="aes-ctr", counter="mono64", mac="sha1", integrity="tree"),
+    SchemeComposition(
+        name="xom+sha", summary="direct AES + SHA-1 MACs (XOM-like)",
+        codec="aes-direct", counter="none", mac="sha1", integrity="tree"),
+    # -- new backends ------------------------------------------------------
+    SchemeComposition(
+        name="secddr",
+        summary="SecDDR-style: split + GCM, on-chip MAC-of-MACs replay "
+                "protection instead of a Merkle walk",
+        codec="aes-ctr", counter="split", mac="gcm", integrity="secddr"),
+    SchemeComposition(
+        name="scattered",
+        summary="Secure Scattered Memory: 2-of-3 secret-shared blocks with "
+                "share-level MACs under the Merkle tree",
+        codec="secret-shares", counter="split", mac="gcm", integrity="tree",
+        overrides=(("shares_k", 2), ("shares_n", 3))),
+)
+
+
+def build_registry() -> SchemeRegistry:
+    """A fresh registry holding every built-in component and scheme."""
+    registry = SchemeRegistry()
+    register_builtin_components(registry)
+    for comp in BUILTIN_SCHEMES:
+        registry.register_scheme(comp)
+    return registry
+
+
+#: the process-wide registry the public API and ``PRESETS`` resolve against
+REGISTRY = build_registry()
+
+
+def preset_configs() -> Mapping[str, "object"]:
+    """Resolve every registered scheme into the read-only preset mapping."""
+    return MappingProxyType({
+        name: REGISTRY.resolve(name) for name in REGISTRY.scheme_names()
+    })

@@ -1,0 +1,164 @@
+"""Declarative scheme registry: components, compositions, resolution.
+
+A *component* is one independently-selectable mechanism of a secure-memory
+scheme — a data codec (plaintext / AES-direct / AES-CTR / secret shares), a
+counter organization, a MAC scheme, or an integrity (anti-replay) strategy.
+A *composition* names one component of each kind plus optional field
+overrides; resolving a composition produces the same frozen
+:class:`~repro.core.config.SecureMemoryConfig` the legacy preset
+constructors build, so every consumer of ``PRESETS`` keeps working
+unchanged.
+
+The capability contract is deliberately small: each component *provides* a
+set of capability strings and may *require* capabilities that some other
+component of the composition must provide.  ``register_scheme`` checks the
+contract at registration time, so an impossible composition (e.g. counter
+mode encryption without a counter organization) fails loudly before any
+system is built from it.
+
+Everything here is frozen and hashable — a resolved scheme cannot be
+mutated in place, and re-registering a taken name raises ``ValueError`` —
+which closes the latent preset-mutability hazard of the hand-wired preset
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import get_close_matches
+from typing import Any
+
+#: component kinds, in the order compositions resolve them
+KINDS = ("codec", "counter", "mac", "integrity")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One registered mechanism with its capability contract.
+
+    ``config_updates`` is the tuple of ``(field, value)`` pairs the
+    component contributes to the resolved
+    :class:`~repro.core.config.SecureMemoryConfig`; tuples (not dicts) keep
+    the spec hashable.
+    """
+
+    kind: str
+    name: str
+    summary: str
+    provides: tuple[str, ...] = ()
+    requires: tuple[str, ...] = ()
+    config_updates: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"component kind must be one of {KINDS}, got {self.kind!r}")
+
+    def updates(self) -> dict[str, Any]:
+        """The component's config-field contribution as a fresh dict."""
+        return dict(self.config_updates)
+
+
+@dataclass(frozen=True)
+class SchemeComposition:
+    """A named scheme: one component of each kind plus field overrides."""
+
+    name: str
+    summary: str
+    codec: str
+    counter: str
+    mac: str
+    integrity: str
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def component_names(self) -> tuple[tuple[str, str], ...]:
+        """``(kind, component-name)`` pairs in resolution order."""
+        return tuple((kind, getattr(self, kind)) for kind in KINDS)
+
+
+class SchemeRegistry:
+    """Holds component specs and scheme compositions; names are final."""
+
+    def __init__(self):
+        self._components: dict[tuple[str, str], ComponentSpec] = {}
+        self._schemes: dict[str, SchemeComposition] = {}
+
+    # -- components --------------------------------------------------------
+
+    def register_component(self, spec: ComponentSpec) -> ComponentSpec:
+        key = (spec.kind, spec.name)
+        if key in self._components:
+            raise ValueError(
+                f"component {spec.kind}/{spec.name!r} is already registered")
+        self._components[key] = spec
+        return spec
+
+    def component(self, kind: str, name: str) -> ComponentSpec:
+        try:
+            return self._components[(kind, name)]
+        except KeyError:
+            known = sorted(n for k, n in self._components if k == kind)
+            raise KeyError(
+                f"unknown {kind} component {name!r}; known: {known}"
+            ) from None
+
+    def components(self, kind: str | None = None) -> tuple[ComponentSpec, ...]:
+        return tuple(spec for (k, _), spec in self._components.items()
+                     if kind is None or k == kind)
+
+    # -- schemes -----------------------------------------------------------
+
+    def register_scheme(self, comp: SchemeComposition) -> SchemeComposition:
+        if comp.name in self._schemes:
+            raise ValueError(
+                f"scheme {comp.name!r} is already registered")
+        specs = [self.component(kind, name)
+                 for kind, name in comp.component_names()]
+        provided = {cap for spec in specs for cap in spec.provides}
+        for spec in specs:
+            missing = [cap for cap in spec.requires if cap not in provided]
+            if missing:
+                raise ValueError(
+                    f"scheme {comp.name!r}: component {spec.kind}/"
+                    f"{spec.name!r} requires {missing} but the composition "
+                    f"only provides {sorted(provided)}")
+        self._schemes[comp.name] = comp
+        return comp
+
+    def scheme(self, name: str) -> SchemeComposition:
+        try:
+            return self._schemes[name]
+        except KeyError:
+            hint = get_close_matches(name, self._schemes, n=1)
+            suggestion = f" — did you mean {hint[0]!r}?" if hint else ""
+            raise KeyError(
+                f"unknown scheme {name!r}{suggestion} "
+                f"(known: {', '.join(self._schemes)})") from None
+
+    def scheme_names(self) -> tuple[str, ...]:
+        return tuple(self._schemes)
+
+    def capabilities(self, name: str) -> tuple[str, ...]:
+        """Sorted union of every capability the scheme's components provide."""
+        comp = self.scheme(name)
+        return tuple(sorted({
+            cap
+            for kind, cname in comp.component_names()
+            for cap in self.component(kind, cname).provides
+        }))
+
+    def resolve(self, name: str):
+        """Build the scheme's frozen SecureMemoryConfig from its components.
+
+        Field updates apply in component order (codec, counter, mac,
+        integrity) with the composition's ``overrides`` last, mirroring how
+        the legacy preset constructors layered their keyword arguments.
+        """
+        from repro.core.config import SecureMemoryConfig
+
+        comp = self.scheme(name)
+        updates: dict[str, Any] = {}
+        for kind, cname in comp.component_names():
+            updates.update(self.component(kind, cname).updates())
+        updates.update(dict(comp.overrides))
+        return SecureMemoryConfig(name=comp.name, **updates)

@@ -32,11 +32,12 @@ import dataclasses
 import random
 from dataclasses import dataclass
 
-from repro.auth.codes import TreeGeometry, build_geometry
+from repro.auth.codes import TreeGeometry, build_flat_geometry, build_geometry
 from repro.core.config import (
     AuthMode,
     CounterOrg,
     EncryptionMode,
+    IntegrityMode,
     SecureMemoryConfig,
 )
 from repro.core.rsr import RSRFile
@@ -109,15 +110,30 @@ class TimingSecureMemory:
                     region_base=config.memory_size,
                 )
 
+        # Secret-shared blocks fan one logical miss out to k share
+        # transfers (and one write-back to n), each share being its own
+        # tree leaf; non-shares configs collapse to k = n = 1.
+        shares = config.encryption is EncryptionMode.SHARES
+        self._shares_k = config.shares_k if shares else 1
+        self._shares_n = config.shares_n if shares else 1
+        self._num_data_leaves = (
+            config.memory_size // self.block_size * self._shares_n
+        )
+
         self.geometry: TreeGeometry | None = None
         self.node_cache: Cache | None = None
         self._node_region_base = (config.memory_size
                                   + num_counter_blocks * self.block_size)
         if config.auth is not AuthMode.NONE:
-            num_leaves = (config.memory_size // self.block_size
-                          + num_counter_blocks)
-            self.geometry = build_geometry(num_leaves, self.block_size,
-                                           config.mac_bits)
+            num_leaves = self._num_data_leaves + num_counter_blocks
+            # SecDDR keeps each level-1 group's MAC on chip: the flat
+            # geometry makes the chain walk terminate after one level with
+            # no root fetch, giving the O(1) verification the scheme buys.
+            build = (build_flat_geometry
+                     if config.resolved_integrity is IntegrityMode.SECDDR
+                     else build_geometry)
+            self.geometry = build(num_leaves, self.block_size,
+                                  config.mac_bits)
             # Merkle code blocks are cached in the unified L2 alongside data
             # (the Gassend-et-al. arrangement the paper builds on); their
             # region starts above all data and counter addresses so they
@@ -282,7 +298,7 @@ class TimingSecureMemory:
         if (self.node_cache is not None
                 and self.config.authenticate_counters):
             # Counter blocks are tree leaves (Figure 3): verify on fetch.
-            leaf = self._num_data_blocks + index
+            leaf = self._num_data_leaves + index
             self._verify_chain(now, leaf, arrive, counter_ready=now)
         return arrive
 
@@ -453,6 +469,8 @@ class TimingSecureMemory:
 
         if isinstance(self.scheme, CounterPredictionScheme):
             return self._read_miss_prediction(now, address)
+        if mode is EncryptionMode.SHARES:
+            return self._read_miss_shares(now, address)
         counter_path = PathTime(now) if recording else None
         if self.counter_cache is not None:
             counter_ready = self._resolve_counter(now, address,
@@ -557,6 +575,57 @@ class TimingSecureMemory:
         for address in ordered:
             stall_until = max(stall_until, self.write_back(now, address))
         return stall_until
+
+    def _read_miss_shares(self, now: float, address: int) -> MissTiming:
+        """Secret-shared read path: k share fetches, k leaf verifications.
+
+        The shares travel in parallel over the shared bus; the plaintext is
+        a GF(256) combine of the arrived shares (one cycle, like the CTR
+        XOR — no pad generation on the read path, since the coefficient
+        keystream is only needed to *split*).  Each share is a distinct
+        tree leaf, so every fetched share image is independently
+        authenticated before reconstruction trusts it.
+        """
+        tracer = self.tracer
+        recording = tracer.enabled
+        counter_path = PathTime(now) if recording else None
+        counter_ready = now
+        if self.counter_cache is not None:
+            counter_ready = self._resolve_counter(now, address,
+                                                  for_write=False,
+                                                  path=counter_path)
+        block_index = address // self.block_size
+        arrived = now
+        auth_done = now
+        share_paths: list[PathTime] = []
+        chain_paths: list[PathTime] = []
+        for s in range(self._shares_k):
+            arrive_path = PathTime(now) if recording else None
+            arrive = self._bus_read(now, self.block_size, path=arrive_path)
+            arrived = max(arrived, arrive)
+            leaf = s * self._num_data_blocks + block_index
+            chain_path = arrive_path.fork() if recording else None
+            chain_done = self._verify_chain(now, leaf, arrive, counter_ready,
+                                            path=chain_path)
+            auth_done = max(auth_done, chain_done)
+            if recording:
+                share_paths.append(arrive_path)
+                chain_paths.append(chain_path)
+        data_ready = arrived + 1  # GF combine of the k share images
+        auth_done = max(auth_done, data_ready)
+        self._lat_hist.observe(auth_done - now)
+        if recording:
+            data_path = PathTime.merge(counter_path, *share_paths).fork()
+            data_path.advance("other", data_ready)
+            auth_path = PathTime.merge(data_path, *chain_paths)
+            tracer.miss(MissRecord(address=address, issue=now,
+                                   data_ready=data_ready,
+                                   auth_done=auth_done,
+                                   parts=auth_path.parts,
+                                   kind="shares"))
+            tracer.span("miss", f"shares@{address:#x}", now, auth_done,
+                        data_ready=data_ready)
+        return MissTiming(data_ready=data_ready, auth_done=auth_done)
 
     def _read_miss_prediction(self, now: float, address: int) -> MissTiming:
         """Counter-prediction read path (Figure 6).
@@ -667,6 +736,21 @@ class TimingSecureMemory:
                 counter = 1
 
         mode = self.config.encryption
+        if mode is EncryptionMode.SHARES:
+            # Splitting needs the k-1 coefficient keystreams (PRF pads, same
+            # engine as CTR), then posts all n share blocks; each share's
+            # MAC lands in its own leaf slot.
+            self._aes_pads(now, max(counter_ready, stall_until),
+                           (self._shares_k - 1) * self._chunks)
+            block_index = address // self.block_size
+            for s in range(self._shares_n):
+                self._bus_write(now, self.block_size)
+                if self.node_cache is not None:
+                    self._update_leaf(
+                        now, s * self._num_data_blocks + block_index
+                    )
+            self._written.add(address)
+            return stall_until
         transfer_bytes = self.block_size
         if isinstance(self.scheme, CounterPredictionScheme):
             transfer_bytes += 8  # the stored 64-bit counter rides along
@@ -737,16 +821,23 @@ class TimingSecureMemory:
             # (charged to the bus statistics) but demand misses are not
             # queued behind it — the arbitration that lets section 4.2's
             # re-encryption overlap normal execution.
-            read_occ = self.bus.charge_background(self.block_size)
+            read_occ = self.bus.charge_background(
+                self.block_size * self._shares_k
+            )
             arrive = t + read_occ + self.mem_latency
             pad_time = self.aes.batch_latency(self._chunks)
             plain_at = max(arrive, t + pad_time) + 1
             scheme.reset_minor(block_address)
             scheme.increment(block_address)
             t = (plain_at + pad_time + 1
-                 + self.bus.charge_background(self.block_size))
+                 + self.bus.charge_background(
+                     self.block_size * self._shares_n))
             if self.node_cache is not None:
-                self._update_leaf(t, block_address // self.block_size)
+                for s in range(self._shares_n):
+                    self._update_leaf(
+                        t, s * self._num_data_blocks
+                        + block_address // self.block_size
+                    )
             stats.blocks_fetched += 1
             stats.blocks_reencrypted += 1
         rsr.allocate(page_index, old_major, busy_until=t)

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.config import PRESETS
+from repro.core.results import ResultBase, ResultMeta
 from repro.testing.faults import FaultKind
 from repro.testing.oracle import (
     DifferentialResult,
@@ -63,7 +64,7 @@ FAILURE_OUTCOMES = (FaultOutcome.MISSED, FaultOutcome.SPURIOUS)
 
 
 @dataclass
-class FuzzReport:
+class FuzzReport(ResultBase):
     """Aggregate result of one fuzz invocation."""
 
     seed: int
@@ -88,6 +89,7 @@ class FuzzReport:
     per_kind: dict = field(default_factory=dict)
     differential: list = field(default_factory=list)
     reproducers: list = field(default_factory=list)
+    meta: ResultMeta | None = None
 
     @property
     def ok(self) -> bool:
@@ -155,6 +157,7 @@ class FuzzReport:
             "differential": self.differential,
             "reproducers": self.reproducers,
             "ok": self.ok,
+            "meta": self.meta_dict(),
         }
 
 

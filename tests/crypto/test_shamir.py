@@ -1,0 +1,88 @@
+"""Byte-wise Shamir sharing over GF(256): algebra, round-trip, secrecy."""
+
+import itertools
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.shamir import (
+    coefficient_blocks,
+    gf_inv,
+    gf_mul,
+    reconstruct_block,
+    split_block,
+)
+
+BLOCK = 64
+AES = AES128(bytes(range(16)))
+
+
+def make_shares(data, k, n, address=0x1000, counter=7):
+    coeffs = coefficient_blocks(AES, address, counter, len(data), k)
+    return split_block(data, coeffs, n)
+
+
+class TestGF256:
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_mul_commutative_sample(self):
+        for a, b in [(3, 7), (0x53, 0xCA), (255, 255), (2, 128)]:
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_inv_is_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_known_product(self):
+        # 0x53 * 0xCA = 0x01 in GF(2^8)/0x11B (classic AES test vector)
+        assert gf_mul(0x53, 0xCA) == 0x01
+
+
+class TestSplitReconstruct:
+    @pytest.mark.parametrize(("k", "n"), [(2, 2), (2, 3), (3, 4), (5, 8)])
+    def test_any_k_shares_reconstruct(self, k, n):
+        data = bytes((i * 37 + 11) % 256 for i in range(BLOCK))
+        shares = make_shares(data, k, n)
+        assert len(shares) == n
+        for subset in itertools.combinations(range(n), k):
+            picked = [(s, shares[s]) for s in subset]
+            assert reconstruct_block(picked) == data
+
+    def test_fewer_than_k_shares_do_not_reconstruct(self):
+        data = b"\xAB" * BLOCK
+        shares = make_shares(data, 3, 4)
+        assert reconstruct_block([(0, shares[0]), (1, shares[1])]) != data
+
+    def test_deterministic(self):
+        data = bytes(range(BLOCK))
+        assert make_shares(data, 2, 3) == make_shares(data, 2, 3)
+
+    def test_counter_separates_sharings(self):
+        data = bytes(range(BLOCK))
+        a = coefficient_blocks(AES, 0x1000, 1, BLOCK, 2)
+        b = coefficient_blocks(AES, 0x1000, 2, BLOCK, 2)
+        assert a != b
+        assert split_block(data, a, 3) != split_block(data, b, 3)
+
+    def test_address_separates_sharings(self):
+        data = bytes(range(BLOCK))
+        a = coefficient_blocks(AES, 0x1000, 1, BLOCK, 2)
+        b = coefficient_blocks(AES, 0x2000, 1, BLOCK, 2)
+        assert split_block(data, a, 3) != split_block(data, b, 3)
+
+    def test_no_share_equals_plaintext(self):
+        data = b"S3CRET-PAYLOAD!!".ljust(BLOCK, b"x")
+        for share in make_shares(data, 2, 3):
+            assert share != data
+
+    def test_validation(self):
+        data = bytes(BLOCK)
+        with pytest.raises(ValueError):
+            make_shares(data, 1, 3)          # k < 2: share 0 = plaintext
+        with pytest.raises(ValueError):
+            make_shares(data, 4, 3)          # k > n
+        with pytest.raises(ValueError):
+            make_shares(data, 2, 17)         # n > MAX_SHARES

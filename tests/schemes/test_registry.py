@@ -1,0 +1,144 @@
+"""Scheme registry contract: frozen specs, final names, capability checks."""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.core.config import PRESETS
+from repro.schemes import (
+    BUILTIN_SCHEMES,
+    KINDS,
+    REGISTRY,
+    ComponentSpec,
+    SchemeComposition,
+    SchemeRegistry,
+    build_registry,
+    preset_configs,
+)
+
+
+def fresh_registry():
+    return build_registry()
+
+
+class TestFrozenContract:
+    def test_component_spec_is_frozen(self):
+        spec = REGISTRY.component("codec", "aes-ctr")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.name = "evil"
+
+    def test_composition_is_frozen(self):
+        comp = REGISTRY.scheme("split+gcm")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            comp.mac = "none"
+
+    def test_specs_and_compositions_hashable(self):
+        assert len({REGISTRY.component(k, n)
+                    for comp in BUILTIN_SCHEMES
+                    for k, n in comp.component_names()}) > 0
+        assert len(set(BUILTIN_SCHEMES)) == len(BUILTIN_SCHEMES)
+
+    def test_resolved_config_is_frozen(self):
+        config = REGISTRY.resolve("secddr")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.mac_bits = 8
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentSpec(kind="flux-capacitor", name="x", summary="")
+
+
+class TestNameFinality:
+    def test_reregistering_component_raises(self):
+        registry = fresh_registry()
+        with pytest.raises(ValueError):
+            registry.register_component(
+                ComponentSpec(kind="codec", name="aes-ctr", summary="dupe"))
+
+    def test_reregistering_scheme_raises(self):
+        registry = fresh_registry()
+        with pytest.raises(ValueError):
+            registry.register_scheme(REGISTRY.scheme("split+gcm"))
+
+
+class TestCapabilityContract:
+    def test_unmet_requirement_rejected(self):
+        registry = SchemeRegistry()
+        registry.register_component(ComponentSpec(
+            kind="codec", name="ctr", summary="", requires=("counters",)))
+        registry.register_component(ComponentSpec(
+            kind="counter", name="none", summary=""))
+        registry.register_component(ComponentSpec(
+            kind="mac", name="none", summary=""))
+        registry.register_component(ComponentSpec(
+            kind="integrity", name="none", summary=""))
+        with pytest.raises(ValueError, match="requires"):
+            registry.register_scheme(SchemeComposition(
+                name="broken", summary="", codec="ctr", counter="none",
+                mac="none", integrity="none"))
+
+    def test_unknown_component_rejected(self):
+        registry = fresh_registry()
+        with pytest.raises(KeyError):
+            registry.register_scheme(SchemeComposition(
+                name="ghost", summary="", codec="no-such-codec",
+                counter="split", mac="gcm", integrity="tree"))
+
+    def test_every_builtin_passes_the_contract(self):
+        registry = SchemeRegistry()
+        for spec in REGISTRY.components():
+            registry.register_component(spec)
+        for comp in BUILTIN_SCHEMES:
+            registry.register_scheme(comp)
+
+
+class TestResolution:
+    def test_presets_are_registry_views(self):
+        assert set(PRESETS) == set(REGISTRY.scheme_names())
+        for name, config in preset_configs().items():
+            assert PRESETS[name] == config
+
+    def test_resolve_matches_presets_fieldwise(self):
+        for name in REGISTRY.scheme_names():
+            assert REGISTRY.resolve(name) == PRESETS[name]
+
+    def test_unknown_scheme_suggests(self):
+        with pytest.raises(KeyError, match="split\\+gcm"):
+            REGISTRY.scheme("split+gmc")
+
+    def test_every_kind_resolved_in_order(self):
+        comp = REGISTRY.scheme("scattered")
+        assert tuple(kind for kind, _ in comp.component_names()) == KINDS
+
+
+class TestApiSurface:
+    def test_list_schemes_covers_presets(self):
+        infos = api.list_schemes()
+        assert [info.name for info in infos] == list(PRESETS)
+        for info in infos:
+            assert isinstance(info, api.SchemeInfo)
+            assert len(info.components) == len(KINDS)
+
+    def test_describe_scheme_capabilities(self):
+        info = api.describe_scheme("secddr")
+        assert "replay-protection" in info.capabilities
+        assert "constant-time-verify" in info.capabilities
+        assert info.integrity == "secddr"
+        scattered = api.describe_scheme("scattered")
+        assert "scattering" in scattered.capabilities
+        assert scattered.encryption == "shares"
+
+    def test_scheme_info_to_dict_json_native(self):
+        import json
+        payload = api.describe_scheme("split+gcm").to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_get_config_preset_kwarg(self):
+        assert api.get_config(preset="secddr") == api.get_config("secddr")
+
+    def test_get_config_exactly_one_label(self):
+        with pytest.raises(TypeError):
+            api.get_config()
+        with pytest.raises(TypeError):
+            api.get_config("split+gcm", preset="secddr")
