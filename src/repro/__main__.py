@@ -390,7 +390,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="tiny workload for smoke/subprocess tests "
                             "(only gate quick against quick)")
     bench.add_argument("--out", metavar="PATH",
-                       help="also write the JSON report here (BENCH_5.json)")
+                       help="also write the JSON report here (BENCH_7.json)")
     bench.add_argument("--baseline", metavar="PATH",
                        help="committed bench report to gate against")
     bench.add_argument("--tolerance", type=float, default=0.10,

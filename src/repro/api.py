@@ -350,9 +350,9 @@ class Experiment:
         from repro.resilience.checkpoint import (
             CheckpointError,
             checkpoint_simulation,
-            config_state,
             load_checkpoint,
             save_checkpoint,
+            semantic_config_state,
             trace_digest,
         )
 
@@ -378,7 +378,8 @@ class Experiment:
         resume_state = None
         if resume_from is not None:
             payload = load_checkpoint(resume_from, kind="simulation")
-            if payload["config"] != config_state(self.config):
+            if (semantic_config_state(payload["config"])
+                    != semantic_config_state(self.config)):
                 raise CheckpointError(
                     "checkpoint was taken under a different configuration "
                     f"({payload['config'].get('name')!r}); construct the "

@@ -1,6 +1,6 @@
 """Perf-regression bench harness: ``python -m repro bench`` / ``api.bench()``.
 
-Produces one schema-versioned, machine-readable report (``BENCH_5.json``)
+Produces one schema-versioned, machine-readable report (``BENCH_7.json``)
 per run so every PR appends a comparable point to the repo's performance
 trajectory, and CI can diff a fresh run against the committed baseline.
 
@@ -12,7 +12,11 @@ Design constraints the format encodes:
   scalar reference **measured in the same run**, plus the deterministic
   simulated-cycle figures (which do not depend on host speed at all).  Two
   runs on different machines gate against each other cleanly; the absolute
-  throughputs are still recorded, but only as context.
+  throughputs are still recorded, but only as context.  The simulator
+  engine sweep (``sim.refs_per_sec``) follows the same rule: the gated
+  quantity is the batched engine's per-cell speedup over the scalar
+  engine measured in the same run, and the raw refs/sec figures ride
+  along as context only.
 * **Seeded, warmup-controlled timing.**  Inputs come from a seeded RNG;
   every kernel is warmed (table/array construction happens outside the
   timed region) and the best of ``repeats`` passes is kept — the standard
@@ -56,9 +60,9 @@ __all__ = [
 ]
 
 #: schema identifier a consumer must check before reading anything else
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
 #: trajectory point emitted by this revision of the repo
-BENCH_ID = "BENCH_5"
+BENCH_ID = "BENCH_7"
 
 #: kernels timed by every micro-benchmark, scalar first (the reference)
 _MICRO_KERNELS = ("scalar", "table", "vector")
@@ -72,6 +76,17 @@ _SIM_PRESETS = ("split+gcm", "mono+gcm", "split+sha", "gcm-auth")
 #: history without being able to trip (or mask) a regression in the
 #: paper's schemes
 _RECORD_PRESETS = ("secddr", "scattered")
+
+#: the figure-4 and figure-9 sweep cells the engine benchmark times under
+#: both ``sim_engine`` values — the full encryption sweep plus the full
+#: authentication sweep, so the gate covers both the preclassified fast
+#: path and the Merkle/MAC-heavy drains
+_ENGINE_PRESETS = (
+    # fig. 4: encryption schemes
+    "split", "mono8b", "mono16b", "mono32b", "mono64b", "direct",
+    # fig. 9: authentication schemes
+    "split+gcm", "mono+gcm", "split+sha", "mono+sha", "xom+sha",
+)
 
 
 def _best_of(fn: Callable[[], Any], repeats: int) -> float:
@@ -202,8 +217,66 @@ def _sim_benchmarks(refs: int, app: str) -> dict[str, Any]:
     }
 
 
-def _gate_metrics(micro: dict[str, Any], sim: dict[str, Any]
-                  ) -> dict[str, float]:
+def _engine_benchmarks(refs: int, app: str, repeats: int) -> dict[str, Any]:
+    """Time the trace-driven simulator under both engines, per sweep cell.
+
+    Each fig4/fig9 cell runs the same seeded trace under
+    ``sim_engine="scalar"`` and ``sim_engine="batched"``; the recorded
+    ``refs_per_sec`` figures are absolute (context only) while the gated
+    quantity is the per-cell batched/scalar *speedup*, which is
+    host-relative.  ``_best_of``'s untimed warmup call also absorbs the
+    batched engine's one-time trace-preclassification cache build, so the
+    timed passes measure steady-state throughput for both engines.  The
+    trace is 4x the sim section's — per-run fixed costs (processor
+    construction, cache mirroring) otherwise dominate the batched side
+    and understate the steady-state ratio.
+    """
+    from repro.api import get_config
+    from repro.sim.processor import Processor
+    from repro.workloads import spec_trace
+
+    refs = refs * 4
+    trace = spec_trace(app, refs)
+    warmup_refs = refs // 3
+
+    def runner(preset: str, engine: str) -> Callable[[], Any]:
+        config = get_config(preset, sim_engine=engine)
+        return lambda: Processor(config).run(trace, warmup_refs=warmup_refs)
+
+    cells: dict[str, Any] = {}
+    total = {"scalar": 0.0, "batched": 0.0}
+    for preset in _ENGINE_PRESETS:
+        seconds = {engine: _best_of(runner(preset, engine), repeats)
+                   for engine in ("scalar", "batched")}
+        for engine, secs in seconds.items():
+            total[engine] += secs
+        cells[preset] = {
+            "seconds": seconds,
+            "refs_per_sec": {engine: refs / secs if secs > 0 else math.inf
+                             for engine, secs in seconds.items()},
+            "batched_speedup": (seconds["scalar"] / seconds["batched"]
+                                if seconds["batched"] > 0 else math.inf),
+        }
+    return {
+        "app": app,
+        "refs": refs,
+        "warmup_refs": warmup_refs,
+        "cells": cells,
+        "aggregate": {
+            "seconds": total,
+            "refs_per_sec": {
+                engine: len(_ENGINE_PRESETS) * refs / secs
+                if secs > 0 else math.inf
+                for engine, secs in total.items()
+            },
+            "batched_speedup": (total["scalar"] / total["batched"]
+                                if total["batched"] > 0 else math.inf),
+        },
+    }
+
+
+def _gate_metrics(micro: dict[str, Any], sim: dict[str, Any],
+                  engine: dict[str, Any]) -> dict[str, float]:
     """The flat higher-is-better metric vector the regression gate diffs.
 
     Only host-relative (speedups) and host-independent (normalized IPC)
@@ -214,6 +287,11 @@ def _gate_metrics(micro: dict[str, Any], sim: dict[str, Any]
         for kernel, speedup in entry["speedup_vs_scalar"].items():
             gate[f"micro.{bench_name}.{kernel}_speedup"] = speedup
     gate["sim.geomean_normalized_ipc"] = sim["geomean_normalized_ipc"]
+    for preset, cell in engine["cells"].items():
+        gate[f"sim.refs_per_sec.{preset}.batched_speedup"] = \
+            cell["batched_speedup"]
+    gate["sim.refs_per_sec.aggregate.batched_speedup"] = \
+        engine["aggregate"]["batched_speedup"]
     return gate
 
 
@@ -235,6 +313,9 @@ def run_bench(*, seed: int = 0, blocks: int = 1024, repeats: int = 3,
     note(f"bench: simulating {len(_SIM_PRESETS) + len(_RECORD_PRESETS)} "
          f"presets ({refs} refs)")
     sim = _sim_benchmarks(refs, app)
+    note(f"bench: timing {len(_ENGINE_PRESETS)} sweep cells under both "
+         f"sim engines ({refs} refs x {repeats} repeats)")
+    engine = _engine_benchmarks(refs, app, repeats)
     report = {
         "schema": BENCH_SCHEMA,
         "bench_id": BENCH_ID,
@@ -243,7 +324,8 @@ def run_bench(*, seed: int = 0, blocks: int = 1024, repeats: int = 3,
         "numpy_available": HAVE_NUMPY,
         "micro": micro,
         "sim": sim,
-        "gate_metrics": _gate_metrics(micro, sim),
+        "engine": engine,
+        "gate_metrics": _gate_metrics(micro, sim, engine),
     }
     validate_report(report)
     return report
@@ -262,7 +344,8 @@ def validate_report(report: Any) -> None:
                          f"(expected {BENCH_SCHEMA!r})")
     for field, kind in (("bench_id", str), ("quick", bool), ("seed", int),
                         ("numpy_available", bool), ("micro", dict),
-                        ("sim", dict), ("gate_metrics", dict)):
+                        ("sim", dict), ("engine", dict),
+                        ("gate_metrics", dict)):
         if not isinstance(report.get(field), kind):
             raise ValueError(f"bench report field {field!r} must be "
                              f"{kind.__name__}")
@@ -283,6 +366,15 @@ def validate_report(report: Any) -> None:
         for field in ("cycles", "normalized_ipc"):
             if field not in entry:
                 raise ValueError(f"sim preset {name!r} missing {field!r}")
+    engine = report["engine"]
+    for field in ("app", "refs", "warmup_refs", "cells", "aggregate"):
+        if field not in engine:
+            raise ValueError(f"engine section missing {field!r}")
+    for name, cell in dict(engine["cells"],
+                           aggregate=engine["aggregate"]).items():
+        for field in ("seconds", "refs_per_sec", "batched_speedup"):
+            if field not in cell:
+                raise ValueError(f"engine cell {name!r} missing {field!r}")
     for name, value in report["gate_metrics"].items():
         if not isinstance(value, (int, float)) or not math.isfinite(value):
             raise ValueError(f"gate metric {name!r} must be finite, "

@@ -24,6 +24,9 @@ from repro.auth.policies import AuthPolicy
 from repro.crypto.mac import VALID_MAC_BITS
 from repro.crypto.vector import KERNELS
 
+#: accepted values of :attr:`SecureMemoryConfig.sim_engine`
+SIM_ENGINES = ("auto", "scalar", "batched")
+
 
 class EncryptionMode(enum.Enum):
     """How data blocks are encrypted on their way to memory."""
@@ -173,6 +176,14 @@ class SecureMemoryConfig:
     #: no effect on simulated timing or statistics.
     kernel: str = "auto"
 
+    #: timing-loop implementation: ``"auto"`` picks the NumPy event-batch
+    #: engine when available (per-reference scalar loop otherwise);
+    #: explicit ``"scalar"``/``"batched"`` pin one.  Both engines are
+    #: bit-identical on every cycle count and statistic (enforced by the
+    #: golden-trace and differential suites) — this knob trades host-side
+    #: speed only, exactly like ``kernel``.
+    sim_engine: str = "auto"
+
     aes_latency: float = 80.0
     aes_stages: int = 16
     aes_engines: int = 1
@@ -211,6 +222,11 @@ class SecureMemoryConfig:
             raise ValueError(
                 f"kernel must be 'auto' or one of {KERNELS}, "
                 f"got {self.kernel!r}"
+            )
+        if self.sim_engine not in SIM_ENGINES:
+            raise ValueError(
+                f"sim_engine must be one of {SIM_ENGINES}, "
+                f"got {self.sim_engine!r}"
             )
         if (self.integrity is IntegrityMode.SECDDR
                 and self.auth is AuthMode.NONE):

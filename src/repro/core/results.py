@@ -41,14 +41,27 @@ def _normalize(value: Any) -> Any:
     return value
 
 
+#: configuration fields that select a host-side implementation (all
+#: implementations are bit-identical) and therefore do not define a design
+#: point: two runs differing only here produce the same simulated numbers.
+HOST_ONLY_CONFIG_FIELDS = frozenset({"kernel", "sim_engine"})
+
+
 def config_fingerprint(config: Any) -> str:
-    """Stable short digest of a configuration's full field contents.
+    """Stable short digest of a configuration's semantic field contents.
 
     Enum fields hash by value and nested dataclasses recurse, so two
     configs are fingerprint-equal exactly when they are field-equal —
     including configs built by different paths (constructor vs registry).
+    Host-only backend selectors (:data:`HOST_ONLY_CONFIG_FIELDS`) are
+    excluded: they change how fast the host computes, never what the
+    simulated machine does.
     """
-    payload = json.dumps(_normalize(config), sort_keys=True)
+    normalized = _normalize(config)
+    if isinstance(normalized, dict):
+        for name in HOST_ONLY_CONFIG_FIELDS:
+            normalized.pop(name, None)
+    payload = json.dumps(normalized, sort_keys=True)
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
 

@@ -41,6 +41,7 @@ _CHECKPOINT_NAMES = frozenset({
     "loads",
     "restore_system",
     "save_checkpoint",
+    "semantic_config_state",
     "trace_digest",
 })
 

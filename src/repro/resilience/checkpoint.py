@@ -188,6 +188,23 @@ def config_state(config: SecureMemoryConfig) -> dict:
     return state
 
 
+def semantic_config_state(config_or_state) -> dict:
+    """:func:`config_state` minus host-only backend selectors.
+
+    ``kernel`` and ``sim_engine`` pick bit-identical host implementations,
+    so a checkpoint taken under one engine may be resumed under another —
+    resume-compatibility checks compare this view, not the raw state.
+    Accepts either a config object or an already-built state dict.
+    """
+    from repro.core.results import HOST_ONLY_CONFIG_FIELDS
+
+    state = (dict(config_or_state) if isinstance(config_or_state, dict)
+             else config_state(config_or_state))
+    for name in HOST_ONLY_CONFIG_FIELDS:
+        state.pop(name, None)
+    return state
+
+
 def config_from_state(state: dict) -> SecureMemoryConfig:
     """Rebuild a :class:`SecureMemoryConfig` from :func:`config_state`."""
     kwargs = dict(state)
@@ -217,8 +234,8 @@ def restore_system(system, blob: bytes) -> None:
     meaningful restore, the same base key) as the checkpointed one.
     """
     payload = loads(blob, kind="system")
-    saved = payload["config"]
-    current = config_state(system.config)
+    saved = semantic_config_state(payload["config"])
+    current = semantic_config_state(system.config)
     if saved != current:
         raise CheckpointError(
             "checkpoint was taken under a different configuration "

@@ -54,6 +54,14 @@ class LoopState:
     resumed run continues exactly where the checkpointed one stopped.
     ``outstanding`` mirrors the bounded out-of-order window as
     ``[completion_cycle, insn_index]`` pairs.
+
+    Both engines express the clock as ``cycle = cycle_base +
+    trace.cum_cycles(cpi)[i]`` (stalls re-anchor the base), so the base —
+    not the derived ``cycle`` — is what a resume needs: re-deriving it as
+    ``cycle - cum[i]`` would lose ulps to float cancellation and break the
+    bit-identical-resume guarantee.  ``cycle`` stays in the snapshot for
+    readability and legacy checkpoints (``cycle_base=None`` falls back to
+    the approximate re-derivation).
     """
 
     cycle: float = 0.0
@@ -63,6 +71,7 @@ class LoopState:
     insns0: int = 0
     next_ref: int = 0
     outstanding: list = field(default_factory=list)
+    cycle_base: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -73,6 +82,7 @@ class LoopState:
             "insns0": self.insns0,
             "next_ref": self.next_ref,
             "outstanding": [list(entry) for entry in self.outstanding],
+            "cycle_base": self.cycle_base,
         }
 
     @classmethod
@@ -85,6 +95,7 @@ class LoopState:
             insns0=data["insns0"],
             next_ref=data["next_ref"],
             outstanding=[list(entry) for entry in data["outstanding"]],
+            cycle_base=data.get("cycle_base"),
         )
 
 
@@ -128,7 +139,8 @@ class Processor:
                  l1_assoc: int = DEFAULT_L1_ASSOC,
                  l2_size: int = DEFAULT_L2_SIZE,
                  l2_assoc: int = DEFAULT_L2_ASSOC,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 rng=None):
         self.config = config
         self.issue_width = issue_width
         self.rob_insns = rob_insns
@@ -136,12 +148,35 @@ class Processor:
         block = config.block_size
         self.l1 = Cache(l1_size, l1_assoc, block, name="l1d")
         self.l2 = Cache(l2_size, l2_assoc, block, name="l2")
-        self.memory = TimingSecureMemory(config, l2=self.l2, tracer=tracer)
+        self.memory = TimingSecureMemory(config, l2=self.l2, tracer=tracer,
+                                         rng=rng)
         # Single registry spanning the whole hierarchy: the memory system
         # already registered everything it owns; add the core-side caches.
         self.metrics = self.memory.metrics
         self.metrics.register("l1", self.l1.stats)
         self.metrics.register("l2", self.l2.stats)
+
+    def resolved_sim_engine(self) -> str:
+        """The timing-loop implementation this processor will run.
+
+        ``config.sim_engine="auto"`` picks the NumPy event-batch engine
+        when numpy is importable and falls back to the scalar loop
+        otherwise; an explicit ``"batched"`` without numpy is an error
+        rather than a silent fallback.
+        """
+        choice = self.config.sim_engine
+        if choice == "auto":
+            from repro.crypto.vector import HAVE_NUMPY
+
+            return "batched" if HAVE_NUMPY else "scalar"
+        if choice == "batched":
+            from repro.crypto.vector import HAVE_NUMPY
+
+            if not HAVE_NUMPY:
+                raise RuntimeError(
+                    "sim_engine='batched' requires numpy; use 'auto' or "
+                    "'scalar'")
+        return choice
 
     def run(self, trace: Trace, warmup_refs: int = 0, *,
             resume: LoopState | None = None,
@@ -161,6 +196,35 @@ class Processor:
         Checkpoints fire at the top of an iteration, before the reference
         executes, so a resumed run replays the exact remaining stream and
         finishes with bit-identical statistics.
+
+        The loop itself runs on the engine named by ``config.sim_engine``
+        — the per-reference scalar oracle below, or the NumPy event-batch
+        engine of :mod:`repro.sim.batched`.  Both produce bit-identical
+        cycles, statistics, and checkpoints (the golden-trace and
+        differential suites enforce this), so the knob is purely a
+        host-speed choice.
+        """
+        if self.resolved_sim_engine() == "batched":
+            from repro.sim.batched import run_batched
+
+            return run_batched(self, trace, warmup_refs=warmup_refs,
+                               resume=resume,
+                               checkpoint_every=checkpoint_every,
+                               on_checkpoint=on_checkpoint)
+        return self._run_scalar(trace, warmup_refs, resume=resume,
+                                checkpoint_every=checkpoint_every,
+                                on_checkpoint=on_checkpoint)
+
+    def _run_scalar(self, trace: Trace, warmup_refs: int = 0, *,
+                    resume: LoopState | None = None,
+                    checkpoint_every: int | None = None,
+                    on_checkpoint=None) -> SimResult:
+        """The per-reference oracle loop (see :meth:`run` for semantics).
+
+        Clock arithmetic is expressed against the trace's shared prefix
+        sums (``cycle = cycle_base + cum[i]``, re-anchored whenever a
+        stall advances the clock) so the batched engine can reproduce the
+        exact same IEEE doubles by evaluating the exact same expressions.
         """
         l1 = self.l1
         l2 = self.l2
@@ -168,40 +232,47 @@ class Processor:
         policy = self.config.auth_policy
         cpi = 1.0 / self.issue_width
         block_mask = ~(self.config.block_size - 1)
+        cum_cycles = trace.cum_cycles(cpi)
+        cum_insns = trace.cum_insns
 
         state = resume if resume is not None else LoopState()
-        cycle = state.cycle
-        insns = state.insns
+        start = state.next_ref
+        if state.cycle_base is not None:
+            cycle_base = state.cycle_base
+        else:
+            # legacy checkpoint (or fresh state, where this is exactly 0.0)
+            cycle_base = state.cycle - cum_cycles[start]
+        insns_base = state.insns - cum_insns[start]
         writebacks = state.writebacks
         cycle0 = state.cycle0
         insns0 = state.insns0
-        start = state.next_ref
         # outstanding load misses: (completion_cycle, insn_index_at_issue)
         outstanding: deque[tuple[float, int]] = deque(
             (entry[0], entry[1]) for entry in state.outstanding)
 
-        gaps = trace.gaps
         writes = trace.writes
         addrs = trace.addrs
+        mshrs = self.mshrs
+        rob_insns = self.rob_insns
 
         for i in range(start, len(addrs)):
             if (checkpoint_every and on_checkpoint is not None
                     and i and i != start and i % checkpoint_every == 0):
                 on_checkpoint(LoopState(
-                    cycle=cycle, insns=insns, writebacks=writebacks,
+                    cycle=cycle_base + cum_cycles[i],
+                    insns=insns_base + cum_insns[i],
+                    writebacks=writebacks,
                     cycle0=cycle0, insns0=insns0, next_ref=i,
-                    outstanding=[list(entry) for entry in outstanding]))
+                    outstanding=[list(entry) for entry in outstanding],
+                    cycle_base=cycle_base))
             if i == warmup_refs and warmup_refs:
-                cycle0 = cycle
-                insns0 = insns
+                cycle0 = cycle_base + cum_cycles[i]
+                insns0 = insns_base + cum_insns[i]
                 writebacks = 0
                 # The registry knows every stats object in the hierarchy, so
                 # new stat sources cannot silently escape the warmup reset.
                 self.metrics.reset()
                 memory.tracer.clear()
-            gap = gaps[i]
-            insns += gap + 1
-            cycle += (gap + 1) * cpi
             address = addrs[i] & block_mask
             is_write = writes[i]
 
@@ -214,12 +285,15 @@ class Processor:
             if l2.access(address):
                 continue
 
-            # L2 miss: retire completed window entries, then make room.
+            # L2 miss: the clock through this reference, then retire
+            # completed window entries and make room.
+            cycle = cycle_base + cum_cycles[i + 1]
+            insns = insns_base + cum_insns[i + 1]
             while outstanding and outstanding[0][0] <= cycle:
                 outstanding.popleft()
             while outstanding and (
-                len(outstanding) >= self.mshrs
-                or insns - outstanding[0][1] >= self.rob_insns
+                len(outstanding) >= mshrs
+                or insns - outstanding[0][1] >= rob_insns
             ):
                 cycle = max(cycle, outstanding[0][0])
                 outstanding.popleft()
@@ -230,6 +304,11 @@ class Processor:
                 writebacks += 1
                 stall = memory.write_back(cycle, eviction.address)
                 cycle = max(cycle, stall)
+            # Re-anchor unconditionally: (base + cum) - cum loses ulps, so
+            # doing it only on stalls would make timing depend on *whether*
+            # a stall happened — this way both engines re-anchor at every
+            # miss and stay bit-identical.
+            cycle_base = cycle - cum_cycles[i + 1]
 
             if is_write:
                 # Stores drain via the store buffer; the fetch has consumed
@@ -241,6 +320,9 @@ class Processor:
             outstanding.append((completion, insns))
 
         # Drain: the last loads must complete.
+        n = len(addrs)
+        cycle = cycle_base + cum_cycles[n]
+        insns = insns_base + cum_insns[n]
         if outstanding:
             cycle = max(cycle, outstanding[-1][0])
         return SimResult(

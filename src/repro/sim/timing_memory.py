@@ -78,7 +78,8 @@ class TimingSecureMemory:
     """Latency/occupancy model of the secure memory path below the L2."""
 
     def __init__(self, config: SecureMemoryConfig, l2: Cache | None = None,
-                 bus: MemoryBus | None = None, tracer: Tracer | None = None):
+                 bus: MemoryBus | None = None, tracer: Tracer | None = None,
+                 rng: random.Random | None = None):
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.block_size = config.block_size
@@ -159,11 +160,16 @@ class TimingSecureMemory:
 
         # Recovery timing: the functional layer decides *whether* retries
         # happen; this layer charges *when* they finish (backoff + bus).
+        # The RNG is threaded explicitly: callers may inject a seeded
+        # ``random.Random`` (the simulation never consults the module-level
+        # global RNG, so ``random.seed(...)`` elsewhere cannot perturb
+        # timing results — the pinning test in ``tests/sim`` enforces it).
         self.recovery_stats: RecoveryStats | None = None
         self._recovery_rng: random.Random | None = None
         if config.recovery.enabled:
             self.recovery_stats = RecoveryStats()
-            self._recovery_rng = random.Random(config.recovery.seed)
+            self._recovery_rng = (rng if rng is not None
+                                  else random.Random(config.recovery.seed))
 
         # Unified metrics: every stats dataclass below the L2 registers
         # here, so ``metrics.snapshot()`` sees them all under dotted names

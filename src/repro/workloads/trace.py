@@ -15,7 +15,16 @@ profiles; they stand in for the SPEC CPU 2000 reference runs of the paper
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
+
+try:  # optional: only the batched sim engine needs ndarray views
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+#: structured dtype of :meth:`Trace.arrays` — one record per reference
+TRACE_DTYPE = [("addr", "<i8"), ("gap", "<i4"), ("write", "?")]
 
 
 @dataclass
@@ -30,6 +39,12 @@ class Trace:
     def __post_init__(self) -> None:
         if not (len(self.gaps) == len(self.writes) == len(self.addrs)):
             raise ValueError("trace arrays must have equal length")
+        # lazily materialized views (see arrays()/cum_cycles); not part of
+        # the dataclass value identity
+        self._arrays = None
+        self._block_ids: dict = {}
+        self._cum_insns: list[int] | None = None
+        self._cum_cycles: dict = {}
 
     def __len__(self) -> int:
         return len(self.addrs)
@@ -48,6 +63,64 @@ class Trace:
     def footprint_blocks(self, block_size: int = 64) -> int:
         """Distinct cache blocks touched."""
         return len({a // block_size for a in self.addrs})
+
+    # -- materialized views (batched engine + shared cycle arithmetic) -------
+
+    def arrays(self):
+        """The trace as one structured ndarray (``TRACE_DTYPE``), cached.
+
+        Raises :class:`RuntimeError` without numpy — only the batched sim
+        engine needs this view; the scalar engine sticks to the plain
+        lists.
+        """
+        if _np is None:
+            raise RuntimeError(
+                "Trace.arrays() requires numpy; install it or use "
+                "sim_engine='scalar'")
+        if self._arrays is None:
+            recs = _np.zeros(len(self.addrs), dtype=TRACE_DTYPE)
+            recs["addr"] = self.addrs
+            recs["gap"] = self.gaps
+            recs["write"] = self.writes
+            self._arrays = recs
+        return self._arrays
+
+    def block_ids(self, block_size: int):
+        """Per-reference block-aligned addresses as an int64 ndarray, cached
+        per block size."""
+        cached = self._block_ids.get(block_size)
+        if cached is None:
+            cached = self.arrays()["addr"] & ~_np.int64(block_size - 1)
+            self._block_ids[block_size] = cached
+        return cached
+
+    @property
+    def cum_insns(self) -> list[int]:
+        """Exclusive prefix sums of per-reference instruction counts.
+
+        ``cum_insns[i]`` is the number of instructions retired by the
+        first ``i`` references (each reference is ``gap + 1``
+        instructions); length is ``len(trace) + 1``.
+        """
+        if self._cum_insns is None:
+            self._cum_insns = [0] + list(
+                itertools.accumulate(g + 1 for g in self.gaps))
+        return self._cum_insns
+
+    def cum_cycles(self, cpi: float) -> list[float]:
+        """Exclusive prefix sums of per-reference issue cycles at ``cpi``.
+
+        Computed once by strict sequential float addition and shared by
+        both sim engines, so ``cycle = cycle_base + cum_cycles[i]`` is the
+        *same* IEEE double no matter which engine evaluates it — the
+        foundation of the bit-exact scalar/batched equivalence suite.
+        """
+        cached = self._cum_cycles.get(cpi)
+        if cached is None:
+            cached = [0.0] + list(
+                itertools.accumulate((g + 1) * cpi for g in self.gaps))
+            self._cum_cycles[cpi] = cached
+        return cached
 
     def slice(self, start: int, stop: int) -> "Trace":
         """Sub-trace covering references [start, stop)."""

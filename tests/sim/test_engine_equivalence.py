@@ -1,0 +1,144 @@
+"""Differential lockdown: the batched engine must equal the scalar oracle.
+
+The batched engine (:mod:`repro.sim.batched`) restructures the reference
+loop into NumPy preclassification plus Python drains, but its contract is
+*bit-for-bit* equality with the scalar engine — same final cycles, same
+stat counters, same metrics snapshot, same semantic memory state, same
+per-miss PathTime records.  Three layers enforce it:
+
+* a deterministic sweep over every registered preset on two fixed traces
+  (one cold, one with warmup),
+* a Hypothesis differential over random short traces x random presets,
+* a tracer differential comparing the full ``MissRecord``/event streams
+  on the authenticated presets (the tracer forces the generic drain, so
+  this also covers the instrumented path).
+
+A fourth group pins the RNG contract from the recovery subsystem: the
+simulator never consults the module-level ``random`` state, so a global
+``random.seed(...)`` from embedding code cannot perturb timing results,
+and an explicitly injected generator is honoured and checkpointed.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import get_config
+from repro.core.config import PRESETS, RecoveryConfig
+from repro.obs.tracer import RecordingTracer
+from repro.sim.processor import Processor
+from repro.sim.timing_memory import TimingSecureMemory
+from repro.workloads import PROFILES, generate_trace
+
+PRESET_NAMES = sorted(PRESETS)
+
+#: Presets whose miss paths exercise the authentication machinery; the
+#: tracer differential runs on these (plus a counter-mode pair).
+TRACED_PRESETS = [s for s in ("split+gcm", "mono+sha", "gcm-auth",
+                              "sha-auth-320", "split", "direct")
+                  if s in PRESETS]
+
+
+def observables(processor, result):
+    """Everything an engine is held accountable for, as one comparable."""
+    return (
+        result.cycles, result.instructions,
+        result.l1_hits, result.l1_misses,
+        result.l2_hits, result.l2_misses, result.writebacks,
+        processor.metrics.snapshot(),
+        processor.state_dict(),
+    )
+
+
+def run_engine(preset, trace, engine, warmup=0, tracer=None):
+    p = Processor(get_config(preset, sim_engine=engine), tracer=tracer)
+    r = p.run(trace, warmup_refs=warmup)
+    return observables(p, r)
+
+
+@pytest.fixture(scope="module")
+def cold_trace():
+    return generate_trace(PROFILES["swim"], 8000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def warm_trace():
+    return generate_trace(PROFILES["mcf"], 6000, seed=11)
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+def test_batched_equals_scalar_cold(preset, cold_trace):
+    assert run_engine(preset, cold_trace, "scalar") == \
+        run_engine(preset, cold_trace, "batched")
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+def test_batched_equals_scalar_with_warmup(preset, warm_trace):
+    assert run_engine(preset, warm_trace, "scalar", warmup=2000) == \
+        run_engine(preset, warm_trace, "batched", warmup=2000)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    preset=st.sampled_from(PRESET_NAMES),
+    app=st.sampled_from(sorted(PROFILES)),
+    refs=st.integers(min_value=64, max_value=2500),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    warmup_frac=st.sampled_from([0.0, 0.25, 0.5]),
+)
+def test_batched_equals_scalar_random(preset, app, refs, seed, warmup_frac):
+    trace = generate_trace(PROFILES[app], refs, seed=seed)
+    warmup = int(refs * warmup_frac)
+    assert run_engine(preset, trace, "scalar", warmup=warmup) == \
+        run_engine(preset, trace, "batched", warmup=warmup)
+
+
+@pytest.mark.parametrize("preset", TRACED_PRESETS)
+def test_tracer_streams_identical(preset, warm_trace):
+    """Per-miss PathTime records and every trace event match exactly."""
+    streams = {}
+    for engine in ("scalar", "batched"):
+        tracer = RecordingTracer()
+        run_engine(preset, warm_trace, engine, tracer=tracer)
+        streams[engine] = (
+            [repr(vars(m)) for m in tracer.misses],
+            [repr(vars(e)) for e in tracer.events],
+        )
+    assert streams["scalar"] == streams["batched"]
+
+
+# -- RNG threading (recovery subsystem) ---------------------------------
+
+
+def test_global_random_seed_does_not_perturb_timing(cold_trace):
+    runs = []
+    for global_seed in (123, 987654321):
+        random.seed(global_seed)
+        runs.append(run_engine("split+gcm", cold_trace, "auto"))
+        random.seed()  # leave the global state unseeded again
+    assert runs[0] == runs[1]
+
+
+def recovery_config(seed=0):
+    return get_config("split",
+                      recovery=RecoveryConfig(enabled=True, seed=seed))
+
+
+def test_injected_rng_is_honoured_and_checkpointed():
+    rng = random.Random(5)
+    mem = TimingSecureMemory(recovery_config(), rng=rng)
+    assert mem._recovery_rng is rng
+    state = mem.state_dict()
+    rng.random()  # advance the live generator past the saved state
+    mem2 = TimingSecureMemory(recovery_config())
+    mem2.load_state(state)
+    assert mem2._recovery_rng.getstate() == random.Random(5).getstate()
+
+
+def test_default_rng_derives_from_recovery_seed():
+    a = TimingSecureMemory(recovery_config(seed=42))
+    b = TimingSecureMemory(recovery_config(seed=42))
+    assert a._recovery_rng.getstate() == b._recovery_rng.getstate()
+    assert a._recovery_rng is not b._recovery_rng
+    assert a._recovery_rng.getstate() == random.Random(42).getstate()

@@ -1,0 +1,92 @@
+"""Golden-trace lockdown: scalar engine vs the committed fixtures.
+
+Every registered preset has a JSON fixture under ``tests/sim/golden/``
+(regenerated with ``python -m repro.testing.regen_golden``) pinning final
+cycles, normalized IPC, the stat counters, the full metrics snapshot, and
+the PathTime sums over the first post-warmup misses.  The comparisons are
+``==`` on floats — *bit-for-bit*, no tolerance — so any change to the
+timing model, however small, fails here until the fixtures are
+deliberately regenerated and the diff reviewed.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.api import get_config
+from repro.core.config import PRESETS
+from repro.obs.tracer import RecordingTracer
+from repro.sim.processor import Processor
+from repro.testing.regen_golden import (
+    GOLDEN_DIR,
+    GOLDEN_WARMUP,
+    PATHTIME_MISSES,
+    baseline_ipc_for,
+    golden_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return golden_trace()
+
+
+@pytest.fixture(scope="module")
+def baseline_ipc(trace):
+    return baseline_ipc_for(trace)
+
+
+def load_fixture(preset: str) -> dict:
+    path = GOLDEN_DIR / f"{preset}.json"
+    assert path.exists(), (
+        f"missing golden fixture for preset {preset!r}; run "
+        f"`python -m repro.testing.regen_golden` and commit the result"
+    )
+    return json.loads(path.read_text())
+
+
+def test_every_preset_has_a_fixture_and_no_strays():
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(PRESETS)
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_scalar_matches_golden(preset, trace, baseline_ipc):
+    golden = load_fixture(preset)
+
+    p = Processor(get_config(preset, sim_engine="scalar"))
+    r = p.run(trace, warmup_refs=GOLDEN_WARMUP)
+
+    assert r.cycles == golden["cycles"]
+    assert r.instructions == golden["instructions"]
+    assert {
+        "l1_hits": r.l1_hits,
+        "l1_misses": r.l1_misses,
+        "l2_hits": r.l2_hits,
+        "l2_misses": r.l2_misses,
+        "writebacks": r.writebacks,
+    } == golden["result"]
+    assert p.metrics.snapshot() == golden["metrics"]
+
+    ipc = r.instructions / r.cycles if r.cycles else 0.0
+    nipc = (ipc / baseline_ipc) if baseline_ipc else float("nan")
+    assert not math.isnan(nipc)
+    assert nipc == golden["normalized_ipc"]
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_scalar_pathtime_matches_golden(preset, trace):
+    golden = load_fixture(preset)["pathtime"]
+
+    tracer = RecordingTracer()
+    p = Processor(get_config(preset, sim_engine="scalar"), tracer=tracer)
+    p.run(trace, warmup_refs=GOLDEN_WARMUP)
+
+    head = tracer.misses[:PATHTIME_MISSES]
+    assert len(tracer.misses) == golden["misses_recorded"]
+    assert len(head) == golden["n"]
+    assert sum(m.issue for m in head) == golden["sum_issue"]
+    assert sum(m.data_ready for m in head) == golden["sum_data_ready"]
+    assert sum(m.auth_done for m in head) == golden["sum_auth_done"]
+    assert sum(sum(m.parts.values()) for m in head) == golden["sum_parts"]
