@@ -30,11 +30,22 @@ Commands:
   exceeds ``--tolerance`` (default 1%).
 * ``bench [--json] [--out PATH] [--baseline PATH] [--tolerance F]
   [--quick]`` — run the seeded perf-regression suite (crypto micros under
-  every kernel + deterministic preset simulations) and emit the
-  schema-versioned BENCH report.  ``--out`` also writes it to a file;
-  ``--baseline`` diffs the gate metrics against a committed report.  Exit
-  codes: 0 clean, 2 regression gate tripped (geo-mean of current/baseline
-  gate-metric ratios below ``1 - tolerance``) or usage error.
+  every kernel + deterministic preset simulations + the serve saturation
+  sweep) and emit the schema-versioned BENCH report.  ``--out`` also
+  writes it to a file (atomically); ``--baseline`` diffs the gate metrics
+  against a committed report.  Exit codes: 0 clean, 2 regression gate
+  tripped (geo-mean of current/baseline gate-metric ratios below
+  ``1 - tolerance``) or usage error.
+* ``serve [--host H] [--port P] [--shards N] [--backend inline|process]
+  [--scheme S] [--tenant-bytes N] [--queue-depth N]`` — run the
+  multi-tenant secure-memory service until SIGINT/SIGTERM.  Prints one
+  ``{"event": "listening", "host": ..., "port": ...}`` JSON line on
+  stdout once the socket is bound (port 0 picks an ephemeral port).
+* ``loadgen --port P [--host H] [--tenants N] [--connections N]
+  [--requests N] [--batch N] [--seed S] [--json]`` — drive the seeded
+  mixed read/write workload against a running server and report
+  requests/s plus p50/p99 latency.  Exit codes: 0 clean, 1 any non-BUSY
+  request error.
 
 JSON contract: with ``--json``, stdout carries exactly one JSON document
 and nothing else — all progress and notes go to stderr.
@@ -181,7 +192,11 @@ def _cmd_sweep(args) -> int:
               f"({result.attempts} attempt(s))", file=sys.stderr)
 
     report = run_many(cells, timeout=args.timeout, retries=args.retries,
-                      retry_backoff=args.retry_backoff, progress=progress)
+                      retry_backoff=args.retry_backoff, progress=progress,
+                      out_path=args.out)
+    if args.out:
+        print(f"sweep: report at {args.out} (updated after every cell)",
+              file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -268,9 +283,9 @@ def _cmd_bench(args) -> int:
                   file=sys.stderr)
             return 2
     if args.out is not None:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        from repro.resilience.checkpoint import atomic_write_json
+
+        atomic_write_json(args.out, report)
         print(f"wrote bench report to {args.out}", file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2))
@@ -298,6 +313,69 @@ def _cmd_bench(args) -> int:
     if gate is not None and not gate["ok"]:
         return 2
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, scheme=args.scheme,
+            num_shards=args.shards, backend=args.backend,
+            tenant_bytes=args.tenant_bytes, queue_depth=args.queue_depth,
+            batch_max=args.batch_max, l2_size=args.l2_size,
+        )
+        api.get_config(args.scheme)
+    except (KeyError, ValueError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"{detail}", file=sys.stderr)
+        return 2
+
+    def ready(address) -> None:
+        host, port = address
+        # one parseable line so scripts (and the CI smoke job) can find
+        # an ephemeral port without racing the log
+        print(json.dumps({"event": "listening", "host": host,
+                          "port": port}), flush=True)
+        print(f"serve: {args.shards} shard(s), {args.backend} backend, "
+              f"scheme {args.scheme}; Ctrl-C to stop", file=sys.stderr)
+
+    run_server(config, ready=ready)
+    print("serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve import run_loadgen
+
+    try:
+        result = run_loadgen(
+            args.host, args.port, tenants=args.tenants,
+            connections=args.connections, requests=args.requests,
+            batch=args.batch, read_fraction=args.read_fraction,
+            footprint_blocks=args.footprint_blocks, seed=args.seed,
+            recovery=args.recovery,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"loadgen: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(f"loadgen: {result.requests} requests "
+              f"({result.reads} reads / {result.writes} writes, "
+              f"{result.blocks} blocks) over {result.connections} "
+              f"connection(s) x {result.tenants} tenant(s)")
+        print(f"  throughput : {result.rps:,.1f} req/s "
+              f"({result.elapsed_s:.2f} s)")
+        print(f"  latency    : p50 {result.p50_ms:.2f} ms   "
+              f"p99 {result.p99_ms:.2f} ms")
+        print(f"  backpressure: {result.busy_retries} BUSY retries")
+        if result.errors:
+            print(f"  ERRORS     : {result.errors} "
+                  f"(first: {result.error_details[:3]})")
+    return 1 if result.errors else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -369,6 +447,10 @@ def main(argv: list[str] | None = None) -> int:
                             "hang, crash-always, hang-always; repeatable)")
     sweep.add_argument("--json", action="store_true",
                        help="emit one machine-readable JSON report")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="stream the report here (rewritten atomically "
+                            "after every finished cell, so a crash or "
+                            "Ctrl-C leaves a valid partial report)")
     prof = sub.add_parser(
         "profile", help="traced simulation with per-miss cycle attribution")
     prof.add_argument("--app", default="swim", choices=SPEC_APPS)
@@ -390,7 +472,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="tiny workload for smoke/subprocess tests "
                             "(only gate quick against quick)")
     bench.add_argument("--out", metavar="PATH",
-                       help="also write the JSON report here (BENCH_7.json)")
+                       help="also write the JSON report here (BENCH_8.json)")
     bench.add_argument("--baseline", metavar="PATH",
                        help="committed bench report to gate against")
     bench.add_argument("--tolerance", type=float, default=0.10,
@@ -398,11 +480,55 @@ def main(argv: list[str] | None = None) -> int:
                             "(default 10%%)")
     bench.add_argument("--json", action="store_true",
                        help="emit the machine-readable report on stdout")
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant secure-memory service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral; the bound "
+                            "port is printed as a JSON line)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="number of shards (default 1)")
+    serve.add_argument("--backend", choices=("inline", "process"),
+                       default="process",
+                       help="shard backend: worker processes (real "
+                            "parallelism) or inline (default process)")
+    serve.add_argument("--scheme", default="split+gcm",
+                       help="scheme preset for every tenant system")
+    serve.add_argument("--tenant-bytes", type=int, default=1 << 20,
+                       help="per-tenant address-space size (default 1 MiB)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="per-shard admission-control cap (default 256)")
+    serve.add_argument("--batch-max", type=int, default=64,
+                       help="max ops coalesced per shard batch (default 64)")
+    serve.add_argument("--l2-size", type=int, default=64 * 1024,
+                       help="per-(tenant, shard) L2 size in bytes (default "
+                            "64 KiB; shrink it to force the crypto path)")
+    load = sub.add_parser(
+        "loadgen", help="drive a seeded workload against a running server")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument("--tenants", type=int, default=2)
+    load.add_argument("--connections", type=int, default=4)
+    load.add_argument("--requests", type=int, default=200,
+                      help="requests per connection (default 200)")
+    load.add_argument("--batch", type=int, default=4,
+                      help="blocks per request (default 4)")
+    load.add_argument("--read-fraction", type=float, default=0.65)
+    load.add_argument("--footprint-blocks", type=int, default=512,
+                      help="per-tenant working-set size in blocks")
+    load.add_argument("--seed", type=int, default=1234)
+    load.add_argument("--recovery",
+                      choices=("halt", "quarantine_page", "degrade"),
+                      default=None,
+                      help="recovery policy for the opened tenants")
+    load.add_argument("--json", action="store_true",
+                      help="emit one machine-readable JSON object")
     args = parser.parse_args(argv)
     return {"schemes": _cmd_schemes, "apps": _cmd_apps,
             "simulate": _cmd_simulate, "attack": _cmd_attack,
             "fuzz": _cmd_fuzz, "profile": _cmd_profile,
-            "sweep": _cmd_sweep, "bench": _cmd_bench}[args.command](args)
+            "sweep": _cmd_sweep, "bench": _cmd_bench,
+            "serve": _cmd_serve, "loadgen": _cmd_loadgen}[args.command](args)
 
 
 if __name__ == "__main__":

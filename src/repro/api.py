@@ -65,6 +65,7 @@ __all__ = [
     "get_config",
     "list_configs",
     "list_schemes",
+    "loadgen",
     "profile",
     "run",
     "run_many",
@@ -279,19 +280,32 @@ class Experiment:
         is raised.  A resumed run finishes with statistics bit-identical to
         the uninterrupted run — the baseline is recomputed deterministically
         either way.
+
+        Every checkpoint argument is validated *up front*: a non-positive
+        cadence, a cadence without a path (or vice versa), or a
+        ``resume_from`` that is missing, corrupt, or was taken under a
+        different configuration/experiment raises :class:`ValueError`
+        (:class:`~repro.resilience.CheckpointError` is a subclass) before
+        any simulation work starts — never deep inside the run.
         """
         trace = self._trace()
+        checkpointing = (checkpoint_every is not None
+                         or checkpoint_path is not None
+                         or resume_from is not None)
+        resume_payload = None
+        if checkpointing:
+            resume_payload = self._validate_checkpoint_args(
+                trace, checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path, resume_from=resume_from)
         baseline = self.baseline_result
         if baseline is None:
             baseline = simulate(get_config("baseline"), trace,
                                 warmup_refs=self.warmup_refs)
-        checkpointing = (checkpoint_every is not None
-                         or checkpoint_path is not None
-                         or resume_from is not None)
         if checkpointing:
             result = self._run_checkpointed(
                 trace, checkpoint_every=checkpoint_every,
-                checkpoint_path=checkpoint_path, resume_from=resume_from)
+                checkpoint_path=checkpoint_path,
+                resume_payload=resume_payload)
         else:
             result = simulate(self.config, trace,
                               warmup_refs=self.warmup_refs,
@@ -344,16 +358,35 @@ class Experiment:
         return (self.workload if isinstance(self.workload, str)
                 else getattr(self.workload, "name", "custom-trace"))
 
-    def _run_checkpointed(self, trace, *, checkpoint_every: int | None,
-                          checkpoint_path: str | None,
-                          resume_from: str | None) -> SimResult:
+    def _checkpoint_meta(self, trace) -> dict:
+        from repro.resilience.checkpoint import trace_digest
+
+        return {
+            "app": self._app_name(),
+            "refs": self.refs,
+            "warmup_refs": self.warmup_refs,
+            "trace_sha256": trace_digest(trace),
+        }
+
+    def _validate_checkpoint_args(self, trace, *,
+                                  checkpoint_every: int | None,
+                                  checkpoint_path: str | None,
+                                  resume_from: str | None) -> dict | None:
+        """Reject bad checkpoint arguments before any simulation runs.
+
+        Returns the loaded, compatibility-checked resume payload (or
+        ``None`` without ``resume_from``) so the run itself never touches
+        the checkpoint file again.  Raises :class:`ValueError` — or its
+        subclass :class:`~repro.resilience.CheckpointError` for a corrupt
+        or mismatched checkpoint — *before* the baseline simulation, so a
+        typo'd path cannot burn minutes of work first.
+        """
+        import os
+
         from repro.resilience.checkpoint import (
             CheckpointError,
-            checkpoint_simulation,
             load_checkpoint,
-            save_checkpoint,
             semantic_config_state,
-            trace_digest,
         )
 
         if self.tracer is not None:
@@ -368,28 +401,40 @@ class Experiment:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}")
-        meta = {
-            "app": self._app_name(),
-            "refs": self.refs,
-            "warmup_refs": self.warmup_refs,
-            "trace_sha256": trace_digest(trace),
-        }
+        if resume_from is None:
+            return None
+        if not os.path.isfile(resume_from):
+            raise ValueError(
+                f"resume_from checkpoint {resume_from!r} does not exist "
+                "(or is not a file)")
+        payload = load_checkpoint(resume_from, kind="simulation")
+        if (semantic_config_state(payload["config"])
+                != semantic_config_state(self.config)):
+            raise CheckpointError(
+                "checkpoint was taken under a different configuration "
+                f"({payload['config'].get('name')!r}); construct the "
+                "experiment with the identical config to resume")
+        meta = self._checkpoint_meta(trace)
+        if payload["meta"] != meta:
+            raise CheckpointError(
+                "checkpoint is from a different experiment "
+                f"(saved {payload['meta']}, resuming {meta})")
+        return payload
+
+    def _run_checkpointed(self, trace, *, checkpoint_every: int | None,
+                          checkpoint_path: str | None,
+                          resume_payload: dict | None) -> SimResult:
+        from repro.resilience.checkpoint import (
+            checkpoint_simulation,
+            save_checkpoint,
+        )
+
+        meta = self._checkpoint_meta(trace)
         processor = Processor(self.config)
         resume_state = None
-        if resume_from is not None:
-            payload = load_checkpoint(resume_from, kind="simulation")
-            if (semantic_config_state(payload["config"])
-                    != semantic_config_state(self.config)):
-                raise CheckpointError(
-                    "checkpoint was taken under a different configuration "
-                    f"({payload['config'].get('name')!r}); construct the "
-                    "experiment with the identical config to resume")
-            if payload["meta"] != meta:
-                raise CheckpointError(
-                    "checkpoint is from a different experiment "
-                    f"(saved {payload['meta']}, resuming {meta})")
-            processor.load_state(payload["processor"])
-            resume_state = LoopState.from_dict(payload["loop"])
+        if resume_payload is not None:
+            processor.load_state(resume_payload["processor"])
+            resume_state = LoopState.from_dict(resume_payload["loop"])
         on_checkpoint = None
         if checkpoint_path is not None:
             def on_checkpoint(loop):
@@ -578,3 +623,15 @@ def fuzz(campaigns: int = 20, seed: int = 0, **kwargs: Any):
     report.meta = ResultMeta(kind="fuzz", seed=seed,
                              preset=",".join(report.presets))
     return report
+
+
+def loadgen(host: str, port: int, **kwargs: Any):
+    """Drive the seeded load generator against a running serve instance.
+
+    A facade over :func:`repro.serve.run_loadgen` (imported lazily so the
+    service stack is only paid for when used).  Returns a
+    :class:`repro.serve.LoadgenResult` with requests/s and p50/p99 latency.
+    """
+    from repro.serve import run_loadgen
+
+    return run_loadgen(host, port, **kwargs)

@@ -1,6 +1,6 @@
 """Perf-regression bench harness: ``python -m repro bench`` / ``api.bench()``.
 
-Produces one schema-versioned, machine-readable report (``BENCH_7.json``)
+Produces one schema-versioned, machine-readable report (``BENCH_8.json``)
 per run so every PR appends a comparable point to the repo's performance
 trajectory, and CI can diff a fresh run against the committed baseline.
 
@@ -16,7 +16,10 @@ Design constraints the format encodes:
   engine sweep (``sim.refs_per_sec``) follows the same rule: the gated
   quantity is the batched engine's per-cell speedup over the scalar
   engine measured in the same run, and the raw refs/sec figures ride
-  along as context only.
+  along as context only.  The serve saturation sweep gates its same-run
+  shard-scaling ratios (``serve.scaling.rps_N_over_1``) and records
+  absolute rps / p50 / p99 as context — see :mod:`repro.serve.bench`
+  for why the ratio direction makes cross-host diffs safe.
 * **Seeded, warmup-controlled timing.**  Inputs come from a seeded RNG;
   every kernel is warmed (table/array construction happens outside the
   timed region) and the best of ``repeats`` passes is kept — the standard
@@ -60,9 +63,9 @@ __all__ = [
 ]
 
 #: schema identifier a consumer must check before reading anything else
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 #: trajectory point emitted by this revision of the repo
-BENCH_ID = "BENCH_7"
+BENCH_ID = "BENCH_8"
 
 #: kernels timed by every micro-benchmark, scalar first (the reference)
 _MICRO_KERNELS = ("scalar", "table", "vector")
@@ -276,11 +279,13 @@ def _engine_benchmarks(refs: int, app: str, repeats: int) -> dict[str, Any]:
 
 
 def _gate_metrics(micro: dict[str, Any], sim: dict[str, Any],
-                  engine: dict[str, Any]) -> dict[str, float]:
+                  engine: dict[str, Any],
+                  serve: dict[str, Any]) -> dict[str, float]:
     """The flat higher-is-better metric vector the regression gate diffs.
 
-    Only host-relative (speedups) and host-independent (normalized IPC)
-    quantities qualify — never absolute throughput.
+    Only host-relative (speedups, same-run scaling ratios) and
+    host-independent (normalized IPC) quantities qualify — never absolute
+    throughput.
     """
     gate: dict[str, float] = {}
     for bench_name, entry in micro.items():
@@ -292,6 +297,8 @@ def _gate_metrics(micro: dict[str, Any], sim: dict[str, Any],
             cell["batched_speedup"]
     gate["sim.refs_per_sec.aggregate.batched_speedup"] = \
         engine["aggregate"]["batched_speedup"]
+    for name, ratio in serve["scaling"].items():
+        gate[f"serve.scaling.{name}"] = ratio
     return gate
 
 
@@ -316,6 +323,9 @@ def run_bench(*, seed: int = 0, blocks: int = 1024, repeats: int = 3,
     note(f"bench: timing {len(_ENGINE_PRESETS)} sweep cells under both "
          f"sim engines ({refs} refs x {repeats} repeats)")
     engine = _engine_benchmarks(refs, app, repeats)
+    from repro.serve.bench import run_serve_bench
+
+    serve = run_serve_bench(quick=quick, seed=seed, progress=note)
     report = {
         "schema": BENCH_SCHEMA,
         "bench_id": BENCH_ID,
@@ -325,7 +335,8 @@ def run_bench(*, seed: int = 0, blocks: int = 1024, repeats: int = 3,
         "micro": micro,
         "sim": sim,
         "engine": engine,
-        "gate_metrics": _gate_metrics(micro, sim, engine),
+        "serve": serve,
+        "gate_metrics": _gate_metrics(micro, sim, engine, serve),
     }
     validate_report(report)
     return report
@@ -344,7 +355,7 @@ def validate_report(report: Any) -> None:
                          f"(expected {BENCH_SCHEMA!r})")
     for field, kind in (("bench_id", str), ("quick", bool), ("seed", int),
                         ("numpy_available", bool), ("micro", dict),
-                        ("sim", dict), ("engine", dict),
+                        ("sim", dict), ("engine", dict), ("serve", dict),
                         ("gate_metrics", dict)):
         if not isinstance(report.get(field), kind):
             raise ValueError(f"bench report field {field!r} must be "
@@ -375,6 +386,23 @@ def validate_report(report: Any) -> None:
         for field in ("seconds", "refs_per_sec", "batched_speedup"):
             if field not in cell:
                 raise ValueError(f"engine cell {name!r} missing {field!r}")
+    serve = report["serve"]
+    for field in ("backend", "scheme", "host_cpus", "shard_counts",
+                  "workload", "points", "scaling"):
+        if field not in serve:
+            raise ValueError(f"serve section missing {field!r}")
+    for shards, point in serve["points"].items():
+        for field in ("requests", "rps", "p50_ms", "p99_ms",
+                      "busy_retries", "errors"):
+            if field not in point:
+                raise ValueError(
+                    f"serve point {shards!r} missing {field!r}")
+        if point["errors"]:
+            raise ValueError(
+                f"serve point {shards!r} recorded {point['errors']} "
+                "errors — the saturation run must be error-free")
+    if not serve["scaling"]:
+        raise ValueError("serve section has no scaling ratios")
     for name, value in report["gate_metrics"].items():
         if not isinstance(value, (int, float)) or not math.isfinite(value):
             raise ValueError(f"gate metric {name!r} must be finite, "
@@ -391,6 +419,13 @@ def compare_reports(current: dict[str, Any], baseline: dict[str, Any], *,
     ``1 - tolerance`` — a >tolerance aggregate regression.  Metrics present
     on only one side are listed but excluded from the geo-mean, so adding a
     benchmark never trips the gate by itself.
+
+    Each per-metric ratio is capped at ``1 + tolerance`` before entering
+    the geo-mean (``ratios`` still reports the raw values): a large
+    improvement in one metric — a genuinely faster kernel, or a
+    host-dependent jump like the serve shard-scaling ratio on a machine
+    with more cores than the baseline's — must not be able to mask a
+    real regression somewhere else.  Regressions are never capped.
     """
     validate_report(current)
     validate_report(baseline)
@@ -406,7 +441,8 @@ def compare_reports(current: dict[str, Any], baseline: dict[str, Any], *,
     if not shared:
         raise ValueError("bench reports share no gate metrics")
     ratios = {name: cur[name] / base[name] for name in shared}
-    geomean = geometric_mean([ratios[name] for name in shared])
+    cap = 1.0 + tolerance
+    geomean = geometric_mean([min(ratios[name], cap) for name in shared])
     return {
         "ok": geomean >= 1.0 - tolerance,
         "geomean_ratio": geomean,

@@ -20,9 +20,24 @@ latent bug class where a newly added field silently survives
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 from bisect import bisect_left
 from typing import Any, Callable, Iterator
+
+
+def _frozen(value: Any) -> Any:
+    """A snapshot-safe copy of one metric value.
+
+    Scalars (and strings) are immutable and pass through; container values
+    — dict/list fields on a registered stats dataclass — are deep-copied
+    so a snapshot taken by one consumer (e.g. a concurrent metrics scrape
+    from the serve layer) can never alias, or later observe, in-flight
+    mutation of the live registry.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    return copy.deepcopy(value)
 
 
 def reset_fields(obj: Any) -> None:
@@ -249,11 +264,18 @@ class MetricsRegistry:
     # -- the single snapshot/reset -----------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """All metric values by dotted name (JSON-ready scalars mostly)."""
+        """All metric values by dotted name (JSON-ready scalars mostly).
+
+        The returned mapping is *frozen*: container values are deep
+        copies, never references into the live stats objects, so mutating
+        the registry after the call (more simulation, another request)
+        cannot retroactively change — or race with — a snapshot someone
+        already holds.
+        """
         out: dict[str, Any] = {}
         for prefix, obj in self._objects:
             for name, value in _walk_values(prefix, obj):
-                out[name] = value
+                out[name] = _frozen(value)
         for name, instrument in self._instruments.items():
             if isinstance(instrument, Counter):
                 out[name] = instrument.value

@@ -99,6 +99,11 @@ class RecordingTracer(Tracer):
     def miss(self, record: "MissRecord") -> None:
         if self.strict:
             record.check(self.tolerance)
+        # Detach the breakdown from the producer's live PathTime: ``parts``
+        # often *is* the dict a PathTime keeps advancing, and a recorded
+        # miss (exported later, possibly from another thread's metrics
+        # scrape) must be immune to that mutation.
+        record.parts = dict(record.parts)
         self.misses.append(record)
 
     def clear(self) -> None:

@@ -31,6 +31,8 @@ from repro.resilience.recovery import (
 _CHECKPOINT_NAMES = frozenset({
     "CHECKPOINT_MAGIC",
     "CheckpointError",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "checkpoint_simulation",
     "checkpoint_system",
     "config_from_state",
@@ -49,6 +51,7 @@ _RUNNER_NAMES = frozenset({
     "CellResult",
     "SweepCell",
     "SweepReport",
+    "load_sweep_report",
     "run_many",
 })
 

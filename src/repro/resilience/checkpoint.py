@@ -31,6 +31,7 @@ import enum
 import hashlib
 import json
 import os
+import tempfile
 import zlib
 from typing import Any
 
@@ -49,8 +50,14 @@ CHECKPOINT_MAGIC = b"RPRCKPT1"
 _VERSION = 1
 
 
-class CheckpointError(Exception):
-    """A checkpoint could not be encoded, decoded, or safely applied."""
+class CheckpointError(ValueError):
+    """A checkpoint could not be encoded, decoded, or safely applied.
+
+    Subclasses :class:`ValueError`: a bad checkpoint argument (missing
+    file, wrong configuration, corrupt container) is an input-validation
+    failure, and callers that guard with ``except ValueError`` must catch
+    it without importing this module.
+    """
 
 
 # -- tagged JSON codec --------------------------------------------------------
@@ -143,18 +150,69 @@ def loads(blob: bytes, kind: str | None = None) -> Any:
     return _decode(body["state"])
 
 
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically.
+
+    The bytes land in a uniquely named temp file *in the same directory*
+    (so the final ``os.replace`` stays within one filesystem and is atomic
+    on POSIX), get fsynced, and only then replace the target.  A crash or
+    SIGKILL at any point leaves either the old file or the new file —
+    never a truncated hybrid.  On failure the temp file is removed.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: Any, *, indent: int = 2) -> None:
+    """Serialize ``payload`` and write it atomically as UTF-8 JSON.
+
+    Serialization happens fully in memory *before* the file is touched, so
+    a payload that fails to encode (or a writer killed mid-dump) can never
+    leave a truncated JSON document behind — the partial-sweep reports and
+    bench reports written through here must always re-parse.
+    """
+    body = json.dumps(payload, indent=indent) + "\n"
+    atomic_write_bytes(path, body.encode("utf-8"))
+
+
 def save_checkpoint(path: str, blob: bytes) -> None:
-    """Write a checkpoint atomically (tmp file + rename)."""
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(blob)
-    os.replace(tmp, path)
+    """Write a checkpoint atomically (unique temp file + rename).
+
+    The temp name is unique per writer (not a fixed ``path + ".tmp"``), so
+    two processes checkpointing to the same path cannot interleave writes
+    into one temp file; last rename wins with each candidate intact.
+    """
+    atomic_write_bytes(path, blob)
 
 
 def load_checkpoint(path: str, kind: str | None = None) -> Any:
-    """Read and verify a checkpoint file written by :func:`save_checkpoint`."""
-    with open(path, "rb") as handle:
-        return loads(handle.read(), kind=kind)
+    """Read and verify a checkpoint file written by :func:`save_checkpoint`.
+
+    Any failure — unreadable file, truncated container, digest mismatch —
+    surfaces as :class:`CheckpointError` with the path in the message, so
+    resume callers never see a raw :class:`OSError` from deep inside.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {exc}") from exc
+    return loads(blob, kind=kind)
 
 
 # -- configuration (de)serialization -----------------------------------------

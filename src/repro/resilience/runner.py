@@ -27,6 +27,7 @@ __all__ = [
     "CellResult",
     "SweepCell",
     "SweepReport",
+    "load_sweep_report",
     "run_many",
 ]
 
@@ -164,8 +165,39 @@ def _worker(conn, cell_dict: dict, attempt: int) -> None:
         conn.close()
 
 
+def load_sweep_report(path: str) -> dict:
+    """Read a sweep-report JSON written via ``run_many(out_path=...)``.
+
+    Raises :class:`repro.resilience.checkpoint.CheckpointError` (a
+    :class:`ValueError`) with a clear message on an unreadable, truncated,
+    or corrupt file — never a raw :class:`json.JSONDecodeError` — so a
+    harness resuming from a partial sweep fails loudly and legibly.
+    """
+    import json
+
+    from repro.resilience.checkpoint import CheckpointError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read sweep report {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"sweep report {path!r} is truncated or corrupt "
+            f"(invalid JSON at line {exc.lineno}, column {exc.colno}); "
+            "re-run the sweep or restore the file") from exc
+    if not isinstance(payload, dict) or "cells" not in payload:
+        raise CheckpointError(
+            f"sweep report {path!r} is not a sweep report "
+            "(missing the 'cells' section)")
+    return payload
+
+
 def run_many(cells, *, timeout: float | None = None, retries: int = 1,
-             retry_backoff: float = 0.25, progress=None) -> SweepReport:
+             retry_backoff: float = 0.25, progress=None,
+             out_path: str | None = None) -> SweepReport:
     """Run every cell under supervision; always returns a report.
 
     ``timeout`` is the per-attempt wall-clock budget in seconds (``None``
@@ -175,7 +207,15 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
     finalizes.  A ``KeyboardInterrupt`` terminates the in-flight worker,
     marks unfinished cells ``skipped``, and returns the partial report
     (``interrupted=True``) instead of propagating.
+
+    ``out_path`` streams partial results to disk: the report JSON is
+    rewritten *atomically* after every finalized cell (temp file in the
+    same directory + ``os.replace``), so even a SIGKILL leaves the last
+    complete report on disk, never a truncated one.  Read it back with
+    :func:`load_sweep_report`.
     """
+    from repro.resilience.checkpoint import atomic_write_json
+
     cells = [cell if isinstance(cell, SweepCell)
              else SweepCell.from_dict(dict(cell)) for cell in cells]
     if retries < 0:
@@ -235,6 +275,8 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
                                 error=error, result=payload)
             report.cells.append(result)
             current = None
+            if out_path is not None:
+                atomic_write_json(out_path, report.to_dict())
             if progress is not None:
                 progress(result)
     except KeyboardInterrupt:
@@ -255,4 +297,6 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
             report.cells.append(CellResult(
                 cell=untouched, status="skipped",
                 error="interrupted before start"))
+    if out_path is not None:
+        atomic_write_json(out_path, report.to_dict())
     return report

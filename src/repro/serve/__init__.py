@@ -1,0 +1,64 @@
+"""Multi-tenant secure-memory service over sharded functional systems.
+
+``repro.serve`` turns the single-client :class:`~repro.core.SecureMemorySystem`
+into a network-facing service:
+
+* :mod:`repro.serve.protocol` — the length-prefixed JSON wire format and
+  its error-code vocabulary;
+* :mod:`repro.serve.shard` — the shard backends: a synchronous
+  :class:`ShardCore` executing coalesced op batches against per-tenant
+  systems, runnable inline (deterministic tests) or inside a spawned
+  worker process (real parallelism across shards);
+* :mod:`repro.serve.server` — the asyncio front end: per-shard request
+  coalescing into the ``read_blocks``/``write_blocks`` batch path,
+  bounded admission control with explicit ``BUSY`` backpressure,
+  per-tenant key epochs / address spaces / recovery policies, and a
+  ``metrics`` snapshot request;
+* :mod:`repro.serve.client` — an asyncio client plus the seeded
+  load generator behind ``python -m repro loadgen``;
+* :mod:`repro.serve.bench` — the saturation bench (p50/p99 latency and
+  requests/s vs shard count) feeding the ``serve.*`` section of the
+  BENCH report.
+"""
+
+from repro.serve.client import (
+    LoadgenResult,
+    ServeClient,
+    ServeError,
+    loadgen,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.server import (
+    SecureMemoryService,
+    ServeConfig,
+    run_server,
+)
+from repro.serve.shard import InlineShard, ProcessShard, ShardCore
+
+__all__ = [
+    "ErrorCode",
+    "InlineShard",
+    "LoadgenResult",
+    "MAX_FRAME_BYTES",
+    "ProcessShard",
+    "ProtocolError",
+    "SecureMemoryService",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ShardCore",
+    "decode_frame",
+    "encode_frame",
+    "loadgen",
+    "read_frame",
+    "run_loadgen",
+    "run_server",
+]

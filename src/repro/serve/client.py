@@ -1,0 +1,313 @@
+"""Asyncio client and seeded load generator for the secure-memory service.
+
+:class:`ServeClient` pipelines requests over one connection: every request
+gets a fresh id, responses are matched back by id by a reader task, so
+many ops can be in flight concurrently.  ``ok: false`` responses surface
+as :class:`ServeError` with the wire error code attached — ``BUSY`` is an
+ordinary, retryable outcome, not a failure.
+
+:func:`loadgen` drives a mixed read/write workload against a running
+server: ``connections`` concurrent clients, round-robin over ``tenants``
+tenants, seeded request streams (reproducible), bounded ``BUSY`` retries
+with exponential backoff, and per-request latency capture.  The result
+carries requests/s and p50/p99 latency — the numbers the saturation bench
+and the CI smoke job consume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.protocol import (
+    ErrorCode,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["LoadgenResult", "ServeClient", "ServeError", "loadgen",
+           "run_loadgen"]
+
+
+class ServeError(RuntimeError):
+    """An ``ok: false`` response; ``code`` is the wire error code."""
+
+    def __init__(self, code: str, detail: str):
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class ServeClient:
+    """One pipelined connection to the service."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._pump: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        self._pump = asyncio.ensure_future(self._pump_responses())
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+        if self._pump is not None:
+            await self._pump
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _pump_responses(self) -> None:
+        try:
+            while True:
+                response = await read_frame(self._reader)
+                if response is None:
+                    break
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ProtocolError, ConnectionError, asyncio.CancelledError):
+            pass
+        self._fail_pending(ConnectionError("connection lost"))
+
+    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request, await its matched response; raise ServeError
+        on ``ok: false``."""
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"id": request_id, "op": op, **fields}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(encode_frame(payload))
+            await self._writer.drain()
+        response = await future
+        if not response.get("ok"):
+            raise ServeError(response.get("error", ErrorCode.INTERNAL),
+                             response.get("detail", ""))
+        return response
+
+    # -- convenience wrappers ----------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def open_tenant(self, tenant: str,
+                          recovery: str | None = None) -> dict:
+        return await self.request("open_tenant", tenant=tenant,
+                                  recovery=recovery)
+
+    async def close_tenant(self, tenant: str, token: str) -> dict:
+        return await self.request("close_tenant", tenant=tenant, token=token)
+
+    async def rotate_epoch(self, tenant: str, token: str) -> int:
+        response = await self.request("rotate_epoch", tenant=tenant,
+                                      token=token)
+        return response["epoch"]
+
+    async def read(self, tenant: str, token: str,
+                   addresses: list[int]) -> list[bytes]:
+        response = await self.request("read", tenant=tenant, token=token,
+                                      addresses=addresses)
+        return [bytes.fromhex(block) for block in response["data"]]
+
+    async def write(self, tenant: str, token: str,
+                    writes: list[tuple[int, bytes]]) -> int:
+        wire = [[address, data.hex()] for address, data in writes]
+        response = await self.request("write", tenant=tenant, token=token,
+                                      writes=wire)
+        return response["written"]
+
+    async def corrupt(self, tenant: str, token: str, address: int) -> dict:
+        return await self.request("corrupt", tenant=tenant, token=token,
+                                  address=address)
+
+    async def metrics(self, tenant: str, token: str) -> dict:
+        return await self.request("metrics", tenant=tenant, token=token)
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one load-generation run."""
+
+    requests: int                  # completed memory ops (reads + writes)
+    reads: int
+    writes: int
+    blocks: int                    # total blocks moved
+    busy_retries: int              # BUSY responses absorbed by backoff
+    errors: int                    # non-BUSY ServeErrors (normally 0)
+    elapsed_s: float
+    p50_ms: float
+    p99_ms: float
+    tenants: int
+    connections: int
+    error_details: list[str] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "reads": self.reads,
+            "writes": self.writes,
+            "blocks": self.blocks,
+            "busy_retries": self.busy_retries,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "rps": self.rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "tenants": self.tenants,
+            "connections": self.connections,
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+async def loadgen(host: str, port: int, *,
+                  tenants: int = 2,
+                  connections: int = 4,
+                  requests: int = 200,
+                  batch: int = 4,
+                  read_fraction: float = 0.65,
+                  footprint_blocks: int = 512,
+                  seed: int = 1234,
+                  max_busy_retries: int = 50,
+                  recovery: str | None = None) -> LoadgenResult:
+    """Drive a seeded mixed workload; returns latency/throughput stats.
+
+    ``requests`` is per connection; each request names ``batch`` random
+    block addresses inside a ``footprint_blocks``-block working set (per
+    tenant).  The footprint is written once up front so reads always hit
+    initialized, MAC-covered data.
+    """
+    opened: list[tuple[str, str]] = []       # (tenant, token)
+    async with ServeClient(host, port) as admin:
+        probe = await admin.open_tenant("loadgen-0", recovery)
+        block_size = probe["block_size"]
+        tenant_bytes = probe["tenant_bytes"]
+        opened.append(("loadgen-0", probe["token"]))
+        for index in range(1, tenants):
+            name = f"loadgen-{index}"
+            response = await admin.open_tenant(name, recovery)
+            opened.append((name, response["token"]))
+        footprint = min(footprint_blocks, tenant_bytes // block_size)
+        rng = random.Random(seed)
+        # warm the footprint: every later read sees written data
+        for tenant, token in opened:
+            for start in range(0, footprint, 64):
+                stop = min(start + 64, footprint)
+                await admin.write(tenant, token, [
+                    (block * block_size, rng.randbytes(block_size))
+                    for block in range(start, stop)])
+
+    latencies: list[float] = []
+    counters = {"reads": 0, "writes": 0, "blocks": 0, "busy": 0,
+                "errors": 0}
+    error_details: list[str] = []
+
+    async def one_connection(connection_index: int) -> None:
+        rng = random.Random(f"{seed}:{connection_index}")
+        tenant, token = opened[connection_index % len(opened)]
+        async with ServeClient(host, port) as client:
+            for _ in range(requests):
+                addresses = [
+                    rng.randrange(footprint) * block_size
+                    for _ in range(batch)]
+                is_read = rng.random() < read_fraction
+                start = time.perf_counter()
+                for attempt in range(max_busy_retries + 1):
+                    try:
+                        if is_read:
+                            await client.read(tenant, token, addresses)
+                        else:
+                            await client.write(tenant, token, [
+                                (address, rng.randbytes(block_size))
+                                for address in addresses])
+                        break
+                    except ServeError as exc:
+                        if exc.code == ErrorCode.BUSY and \
+                                attempt < max_busy_retries:
+                            counters["busy"] += 1
+                            await asyncio.sleep(
+                                min(0.1, 0.001 * (2 ** min(attempt, 6))))
+                            continue
+                        counters["errors"] += 1
+                        if len(error_details) < 20:
+                            error_details.append(str(exc))
+                        break
+                latencies.append(time.perf_counter() - start)
+                counters["reads" if is_read else "writes"] += 1
+                counters["blocks"] += batch
+
+    started = time.perf_counter()
+    try:
+        await asyncio.gather(*[one_connection(index)
+                               for index in range(connections)])
+    finally:
+        # leave the server reusable: a second loadgen run must be able to
+        # open the same tenant names again
+        async with ServeClient(host, port) as admin:
+            for tenant, token in opened:
+                await admin.close_tenant(tenant, token)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return LoadgenResult(
+        requests=counters["reads"] + counters["writes"],
+        reads=counters["reads"],
+        writes=counters["writes"],
+        blocks=counters["blocks"],
+        busy_retries=counters["busy"],
+        errors=counters["errors"],
+        elapsed_s=elapsed,
+        p50_ms=_percentile(latencies, 0.50) * 1e3,
+        p99_ms=_percentile(latencies, 0.99) * 1e3,
+        tenants=len(opened),
+        connections=connections,
+        error_details=error_details,
+    )
+
+
+def run_loadgen(host: str, port: int, **kwargs: Any) -> LoadgenResult:
+    """Synchronous wrapper around :func:`loadgen`."""
+    return asyncio.run(loadgen(host, port, **kwargs))

@@ -1,0 +1,129 @@
+"""Length-prefixed JSON wire protocol for the secure-memory service.
+
+One frame is ``4-byte big-endian payload length`` + ``UTF-8 JSON object``.
+Requests carry ``{"id": <int>, "op": <str>, ...}``; responses echo the id
+with ``{"id": ..., "ok": true, ...}`` or
+``{"id": ..., "ok": false, "error": <code>, "detail": <str>}``.  Ids let a
+client pipeline many requests over one connection and match responses out
+of order.
+
+Block payloads travel as hex strings (a 64-byte block is 128 hex chars) —
+small enough that framing stays trivial and every frame remains
+printable/debuggable.  The frame size cap bounds per-connection memory:
+an attacker declaring a 2 GB frame is rejected at the 4-byte header.
+
+Malformed input never kills the server: a bad length prefix, an oversized
+declaration, truncated payload bytes, non-JSON, or a non-object document
+all raise :class:`ProtocolError`, which the connection handler converts
+into one error response (or a connection drop when the stream can no
+longer be framed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ErrorCode",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+]
+
+#: hard cap on one frame's JSON payload (1 MiB); bounds per-connection
+#: buffering regardless of what length the peer declares
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH_BYTES = 4
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire format (length, size, JSON, or shape)."""
+
+
+class ErrorCode:
+    """Stable error vocabulary carried in ``{"ok": false, "error": ...}``."""
+
+    BUSY = "BUSY"                    # admission control rejected the request
+    BAD_REQUEST = "BAD_REQUEST"      # malformed op/arguments
+    UNKNOWN_OP = "UNKNOWN_OP"
+    NO_TENANT = "NO_TENANT"          # tenant not opened on this server
+    TENANT_EXISTS = "TENANT_EXISTS"
+    AUTH = "AUTH"                    # missing/wrong tenant token
+    INTEGRITY = "INTEGRITY"          # MAC/tree verification failed
+    QUARANTINED = "QUARANTINED"      # page fenced by the quarantine policy
+    HALTED = "HALTED"                # tenant halted by the halt policy
+    SHUTDOWN = "SHUTDOWN"            # server is draining/stopping
+    INTERNAL = "INTERNAL"
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one message into its wire frame."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be an object, got {type(payload).__name__}")
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    return len(body).to_bytes(_LENGTH_BYTES, "big") + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """Decode one frame's payload bytes (the part after the length)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, "
+            f"got {type(payload).__name__}")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame from a stream; ``None`` on clean EOF between frames.
+
+    EOF in the *middle* of a frame (inside the length prefix or the
+    payload) is a truncation and raises :class:`ProtocolError`.
+    """
+    header = await reader.read(_LENGTH_BYTES)
+    if not header:
+        return None
+    while len(header) < _LENGTH_BYTES:
+        more = await reader.read(_LENGTH_BYTES - len(header))
+        if not more:
+            raise ProtocolError(
+                f"connection closed inside a frame header "
+                f"({len(header)}/{_LENGTH_BYTES} bytes)")
+        header += more
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer declared a {length}-byte frame "
+            f"(cap is {MAX_FRAME_BYTES})")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed inside a frame: expected {length} payload "
+            f"bytes, got {len(exc.partial)}") from exc
+    return decode_frame(body)
+
+
+def error_response(request_id: Any, code: str, detail: str) -> dict[str, Any]:
+    """The canonical error reply shape."""
+    return {"id": request_id, "ok": False, "error": code, "detail": detail}
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict[str, Any]:
+    """The canonical success reply shape."""
+    payload: dict[str, Any] = {"id": request_id, "ok": True}
+    payload.update(fields)
+    return payload

@@ -1,0 +1,419 @@
+"""Shard backends: per-tenant secure-memory systems behind one dispatch.
+
+A *shard* owns one :class:`~repro.core.SecureMemorySystem` per tenant and
+executes coalesced op batches against them.  The same synchronous engine
+(:class:`ShardCore`) runs in two places:
+
+* :class:`InlineShard` — in the server process.  Deterministic and cheap;
+  what the unit tests and quick smoke paths use.
+* :class:`ProcessShard` — inside a spawned worker process, one per shard,
+  driven over a pipe.  This is what makes ``--shards N`` scale on a
+  multi-core host: each shard's crypto (AES pads, GHASH MACs, Merkle
+  walks) runs on its own core, outside the server's GIL.
+
+Tenant isolation is structural, not advisory: every tenant gets its own
+system per shard, keyed by ``sha256(base_key, tenant, epoch)`` — separate
+key material, separate DRAM image, separate Merkle tree, separate
+recovery controller.  There is no address a tenant can name that reaches
+another tenant's state, and rotating a tenant's key epoch rebuilds only
+that tenant's systems.
+
+Batches funnel into the existing ``read_blocks``/``write_blocks`` batch
+path (and therefore the ``Config.kernel`` vector crypto): consecutive
+same-kind ops of one tenant merge into a single bulk call, so a burst of
+concurrent single-block requests is serviced with one AES dispatch and
+one Merkle walk per shared parent, exactly like the simulator's batch
+path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import signal
+import threading
+from typing import Any
+
+from repro.serve.protocol import ErrorCode
+
+__all__ = [
+    "InlineShard",
+    "ProcessShard",
+    "ShardCore",
+    "ShardError",
+    "derive_tenant_key",
+]
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed outside the per-op error protocol."""
+
+
+def derive_tenant_key(base_key: bytes, tenant: str, epoch: int) -> bytes:
+    """Per-tenant, per-epoch base key for one tenant's systems.
+
+    Mixing the epoch into the derivation is what makes ``rotate_epoch`` a
+    real re-keying: systems built for epoch ``e+1`` share no key material
+    with epoch ``e`` (or with any other tenant).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-serve-tenant\x00")
+    digest.update(base_key)
+    digest.update(b"\x00")
+    digest.update(tenant.encode("utf-8"))
+    digest.update(epoch.to_bytes(8, "big"))
+    return digest.digest()[:16]
+
+
+class _TenantShardState:
+    """One tenant's slice of one shard: the system plus tenant facts."""
+
+    __slots__ = ("system", "epoch", "recovery", "halted")
+
+    def __init__(self, system, epoch: int, recovery: str | None):
+        self.system = system
+        self.epoch = epoch
+        self.recovery = recovery
+        self.halted = False
+
+
+class ShardCore:
+    """Synchronous executor of coalesced op batches for one shard."""
+
+    def __init__(self, index: int, num_shards: int, config,
+                 protected_bytes: int, base_key: bytes,
+                 l2_size: int = 64 * 1024):
+        from repro.core.config import SecureMemoryConfig
+
+        if not isinstance(config, SecureMemoryConfig):
+            raise TypeError("ShardCore wants a SecureMemoryConfig")
+        self.index = index
+        self.num_shards = num_shards
+        self.config = config
+        self.protected_bytes = protected_bytes
+        self.l2_size = l2_size
+        self.block_size = config.block_size
+        self._base_key = bytes(base_key)
+        self._tenants: dict[str, _TenantShardState] = {}
+
+    # -- tenant lifecycle ---------------------------------------------------
+
+    def _build_system(self, tenant: str, epoch: int, recovery: str | None):
+        from repro.core.config import RecoveryConfig, RecoveryPolicy
+        from repro.core.secure_memory import SecureMemorySystem
+
+        config = self.config
+        if recovery is not None:
+            config = config.with_updates(recovery=RecoveryConfig(
+                enabled=True, policy=RecoveryPolicy(recovery)))
+        return SecureMemorySystem(
+            config, protected_bytes=self.protected_bytes,
+            base_key=derive_tenant_key(self._base_key, tenant, epoch),
+            l2_size=self.l2_size)
+
+    def open_tenant(self, tenant: str, *, epoch: int = 0,
+                    recovery: str | None = None) -> None:
+        self._tenants[tenant] = _TenantShardState(
+            self._build_system(tenant, epoch, recovery), epoch, recovery)
+
+    def close_tenant(self, tenant: str) -> None:
+        self._tenants.pop(tenant, None)
+
+    def rotate_epoch(self, tenant: str) -> int:
+        """Bump the tenant's key epoch: fresh systems under a fresh key.
+
+        The old epoch's DRAM image (and any quarantine/halt verdicts)
+        is discarded with the old key — an epoch is a hard reset of the
+        tenant's address space, which is exactly what makes it useful
+        after a halt or a suspected compromise.
+        """
+        state = self._require(tenant)
+        epoch = state.epoch + 1
+        self._tenants[tenant] = _TenantShardState(
+            self._build_system(tenant, epoch, state.recovery),
+            epoch, state.recovery)
+        return epoch
+
+    def _require(self, tenant: str) -> _TenantShardState:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise ShardError(f"tenant {tenant!r} not opened on shard "
+                             f"{self.index}") from None
+
+    # -- batch execution ----------------------------------------------------
+
+    @staticmethod
+    def _error_for(exc: Exception) -> tuple[str, str, str]:
+        from repro.resilience.recovery import (
+            IntegrityViolation,
+            QuarantinedPageError,
+            RecoveryHalted,
+        )
+
+        if isinstance(exc, RecoveryHalted):
+            return ("error", ErrorCode.HALTED, str(exc))
+        if isinstance(exc, QuarantinedPageError):
+            return ("error", ErrorCode.QUARANTINED, str(exc))
+        if isinstance(exc, IntegrityViolation):
+            return ("error", ErrorCode.INTEGRITY, str(exc))
+        if isinstance(exc, ValueError):
+            return ("error", ErrorCode.BAD_REQUEST, str(exc))
+        return ("error", ErrorCode.INTERNAL,
+                f"{type(exc).__name__}: {exc}")
+
+    def execute(self, ops: list[tuple]) -> list[tuple]:
+        """Run one coalesced batch; one result tuple per op, in order.
+
+        ``ops`` entries are ``("read", tenant, [addr, ...])`` or
+        ``("write", tenant, [(addr, data), ...])`` with shard-local
+        block-aligned addresses.  Consecutive same-kind ops of the same
+        tenant merge into one ``read_blocks``/``write_blocks`` call (the
+        coalescing contract); kind changes are barriers so read-after-
+        write ordering within a tenant is preserved.
+
+        Results are ``("ok", payload)`` or ``("error", code, detail)``.
+        A failure poisons only its own merged run — other tenants, and
+        the same tenant's later runs (unless halted), proceed.
+        """
+        from repro.resilience.recovery import RecoveryHalted
+
+        results: list[tuple | None] = [None] * len(ops)
+        # per-tenant runs of consecutive same-kind ops, preserving each
+        # tenant's own op order
+        runs: list[tuple[str, str, list[int]]] = []  # (kind, tenant, idxs)
+        last_run_for: dict[str, int] = {}
+        for position, (kind, tenant, _payload) in enumerate(ops):
+            run_index = last_run_for.get(tenant)
+            if run_index is not None and runs[run_index][0] == kind:
+                runs[run_index][2].append(position)
+            else:
+                runs.append((kind, tenant, [position]))
+                last_run_for[tenant] = len(runs) - 1
+        for kind, tenant, positions in runs:
+            try:
+                state = self._require(tenant)
+            except ShardError as exc:
+                for position in positions:
+                    results[position] = ("error", ErrorCode.NO_TENANT,
+                                         str(exc))
+                continue
+            if state.halted:
+                for position in positions:
+                    results[position] = (
+                        "error", ErrorCode.HALTED,
+                        f"tenant {tenant!r} is halted on shard "
+                        f"{self.index} (persistent integrity fault); "
+                        "rotate_epoch to recover")
+                continue
+            try:
+                if kind == "read":
+                    addrs = [addr for position in positions
+                             for addr in ops[position][2]]
+                    data = state.system.read_blocks(addrs)
+                    cursor = 0
+                    for position in positions:
+                        take = len(ops[position][2])
+                        results[position] = (
+                            "ok", data[cursor:cursor + take])
+                        cursor += take
+                elif kind == "write":
+                    pairs = [pair for position in positions
+                             for pair in ops[position][2]]
+                    state.system.write_blocks(pairs)
+                    for position in positions:
+                        results[position] = ("ok", len(ops[position][2]))
+                else:
+                    for position in positions:
+                        results[position] = (
+                            "error", ErrorCode.BAD_REQUEST,
+                            f"unknown op kind {kind!r}")
+            except Exception as exc:  # noqa: BLE001 — per-op verdicts
+                if isinstance(exc, RecoveryHalted):
+                    state.halted = True
+                verdict = self._error_for(exc)
+                for position in positions:
+                    results[position] = verdict
+        return results  # type: ignore[return-value]
+
+    # -- fault injection (tests / CI smoke) ---------------------------------
+
+    def corrupt(self, tenant: str, address: int) -> None:
+        """Flip ciphertext bits of one block in the tenant's DRAM image.
+
+        The system is flushed first (so DRAM holds the authoritative
+        image) and the L2 line is invalidated, so the next read must
+        re-fetch and re-verify — and the verification fails.  A DRAM
+        corruption is *persistent*: recovery re-reads see the same bad
+        bytes, so the tenant's configured policy (halt / quarantine /
+        degrade) decides the outcome.
+        """
+        state = self._require(tenant)
+        system = state.system
+        system.flush()
+        raw = bytearray(system.dram.read_block(address))
+        raw[0] ^= 0xFF
+        system.dram.write_block(address, bytes(raw))
+        system.l2.invalidate(address)
+
+    # -- metrics ------------------------------------------------------------
+
+    def metrics(self, tenant: str) -> dict[str, Any]:
+        """Scalar metrics snapshot of one tenant's slice of this shard.
+
+        Built on :meth:`MetricsRegistry.snapshot`, which returns frozen
+        copies — a scrape can never alias in-flight mutation.  NaN (e.g. a
+        hit rate with zero accesses) becomes ``None`` so the payload stays
+        strict-JSON clean.
+        """
+        state = self._require(tenant)
+        snapshot = state.system.metrics.snapshot()
+        scalars = {
+            name: (None if isinstance(value, float) and math.isnan(value)
+                   else value)
+            for name, value in snapshot.items()
+            if isinstance(value, (int, float))
+        }
+        return {
+            "epoch": state.epoch,
+            "recovery_policy": state.recovery,
+            "halted": state.halted,
+            "metrics": scalars,
+        }
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    # -- uniform dispatch (the pipe protocol and InlineShard share it) ------
+
+    def dispatch(self, kind: str, payload: Any) -> Any:
+        if kind == "execute":
+            return self.execute(payload)
+        if kind == "open_tenant":
+            return self.open_tenant(payload["tenant"],
+                                    epoch=payload.get("epoch", 0),
+                                    recovery=payload.get("recovery"))
+        if kind == "close_tenant":
+            return self.close_tenant(payload)
+        if kind == "rotate":
+            return self.rotate_epoch(payload)
+        if kind == "corrupt":
+            return self.corrupt(payload["tenant"], payload["address"])
+        if kind == "metrics":
+            return self.metrics(payload)
+        if kind == "tenants":
+            return self.tenants()
+        if kind == "ping":
+            return "pong"
+        raise ShardError(f"unknown shard command {kind!r}")
+
+
+def _worker_main(conn, spec: dict) -> None:
+    """Entry point of a spawned shard worker process.
+
+    SIGINT is ignored: the server owns interrupt handling, and a terminal
+    Ctrl-C reaches the whole process group — the worker must keep serving
+    until it is told to shut down (or its pipe closes).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.resilience.checkpoint import config_from_state
+
+    core = ShardCore(
+        index=spec["index"],
+        num_shards=spec["num_shards"],
+        config=config_from_state(spec["config_state"]),
+        protected_bytes=spec["protected_bytes"],
+        base_key=spec["base_key"],
+        l2_size=spec["l2_size"],
+    )
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if kind == "shutdown":
+            conn.send(("ok", None))
+            break
+        try:
+            conn.send(("ok", core.dispatch(kind, payload)))
+        except Exception as exc:  # noqa: BLE001 — verdict crosses the pipe
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class InlineShard:
+    """A shard living in the server process (deterministic, no spawn)."""
+
+    def __init__(self, core: ShardCore):
+        self.core = core
+        self.index = core.index
+
+    def request(self, kind: str, payload: Any) -> Any:
+        return self.core.dispatch(kind, payload)
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessShard:
+    """A shard hosted in its own spawned process, driven over a pipe.
+
+    ``request`` is synchronous and serialized by a lock; the server calls
+    it from a per-shard single-thread executor, so each shard processes
+    one batch at a time while different shards run truly in parallel.
+    """
+
+    def __init__(self, index: int, num_shards: int, config,
+                 protected_bytes: int, base_key: bytes,
+                 l2_size: int = 64 * 1024):
+        from repro.resilience.checkpoint import config_state
+
+        self.index = index
+        spec = {
+            "index": index,
+            "num_shards": num_shards,
+            "config_state": config_state(config),
+            "protected_bytes": protected_bytes,
+            "base_key": bytes(base_key),
+            "l2_size": l2_size,
+        }
+        context = multiprocessing.get_context("spawn")
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_worker_main, args=(child, spec), daemon=True)
+        self._process.start()
+        child.close()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, kind: str, payload: Any) -> Any:
+        with self._lock:
+            if self._closed:
+                raise ShardError(f"shard {self.index} is closed")
+            try:
+                self._conn.send((kind, payload))
+                status, result = self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise ShardError(
+                    f"shard {self.index} worker died "
+                    f"(exit code {self._process.exitcode})") from exc
+        if status == "error":
+            raise ShardError(f"shard {self.index}: {result}")
+        return result
+
+    def close(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.send(("shutdown", None))
+                self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            self._conn.close()
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)

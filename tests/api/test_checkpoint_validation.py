@@ -1,0 +1,87 @@
+"""Up-front validation of Experiment.run's checkpoint arguments.
+
+Regression suite for the bugfix: a bad cadence, an unpaired keyword, or a
+``resume_from`` that is missing / corrupt / from a different experiment
+must raise a clear :class:`ValueError` *before* any simulation starts —
+previously the baseline simulation ran first and a missing file surfaced
+as a raw :class:`FileNotFoundError` minutes into the run.
+"""
+
+import pytest
+
+import repro.api
+from repro import api
+from repro.resilience import CheckpointError
+
+REFS = 3000
+EVERY = 1000
+SCHEME = "split+gcm"
+
+
+@pytest.fixture
+def no_simulation(monkeypatch):
+    """Make any simulation attempt explode — validation must come first."""
+
+    def _boom(*_args, **_kwargs):
+        raise AssertionError(
+            "simulate() ran before checkpoint-argument validation")
+
+    monkeypatch.setattr(repro.api, "simulate", _boom)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("ckpt") / "roll.ckpt")
+    api.run(SCHEME, "swim", refs=REFS, checkpoint_every=EVERY,
+            checkpoint_path=path)
+    return path
+
+
+class TestUpFrontValidation:
+    @pytest.mark.parametrize("every", [0, -1, -100])
+    def test_non_positive_cadence(self, no_simulation, tmp_path, every):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            api.run(SCHEME, "swim", refs=REFS, checkpoint_every=every,
+                    checkpoint_path=str(tmp_path / "x.ckpt"))
+
+    def test_cadence_without_path(self, no_simulation):
+        with pytest.raises(ValueError, match="go together"):
+            api.run(SCHEME, "swim", refs=REFS, checkpoint_every=EVERY)
+
+    def test_path_without_cadence(self, no_simulation, tmp_path):
+        with pytest.raises(ValueError, match="go together"):
+            api.run(SCHEME, "swim", refs=REFS,
+                    checkpoint_path=str(tmp_path / "x.ckpt"))
+
+    def test_missing_resume_file(self, no_simulation, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            api.run(SCHEME, "swim", refs=REFS,
+                    resume_from=str(tmp_path / "never-written.ckpt"))
+
+    def test_resume_from_directory(self, no_simulation, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            api.run(SCHEME, "swim", refs=REFS, resume_from=str(tmp_path))
+
+    def test_corrupt_resume_file(self, no_simulation, tmp_path):
+        bad = tmp_path / "corrupt.ckpt"
+        bad.write_bytes(b"this is not a checkpoint container")
+        with pytest.raises(CheckpointError, match="magic"):
+            api.run(SCHEME, "swim", refs=REFS, resume_from=str(bad))
+
+    def test_config_mismatch_fails_before_simulation(self, checkpoint,
+                                                     no_simulation):
+        # a checkpoint whose config fingerprint differs from the
+        # experiment's must be rejected up front (and CheckpointError is a
+        # ValueError, so plain ValueError guards also catch it)
+        with pytest.raises(ValueError, match="configuration"):
+            api.run("mono+gcm", "swim", refs=REFS, resume_from=checkpoint)
+
+    def test_experiment_mismatch_fails_before_simulation(self, checkpoint,
+                                                         no_simulation):
+        with pytest.raises(CheckpointError, match="different experiment"):
+            api.run(SCHEME, "mcf", refs=REFS, resume_from=checkpoint)
+
+    def test_valid_resume_still_works(self, checkpoint):
+        result = api.run(SCHEME, "swim", refs=REFS, resume_from=checkpoint)
+        plain = api.run(SCHEME, "swim", refs=REFS)
+        assert result.to_dict() == plain.to_dict()

@@ -17,6 +17,7 @@ import pytest
 from repro.bench import (
     BENCH_ID,
     BENCH_SCHEMA,
+    compare_reports,
     load_report,
     validate_report,
 )
@@ -107,6 +108,24 @@ class TestRegressionGate:
         gate = json.loads(result.stdout)["regression_gate"]
         assert gate["ok"] is False
         assert gate["geomean_ratio"] < 0.9
+
+    def test_improvements_cannot_mask_regressions(self, quick_run):
+        # Half the metrics regress 10x while the other half improve 10x.
+        # Uncapped, the geo-mean would sit at exactly 1.0 and the
+        # regressions would sail through; the per-metric improvement cap
+        # keeps the gains from buying back the losses.
+        _, out = quick_run
+        current = load_report(str(out))
+        doctored = json.loads(json.dumps(current))
+        for index, name in enumerate(sorted(doctored["gate_metrics"])):
+            doctored["gate_metrics"][name] *= (
+                10.0 if index % 2 == 0 else 0.1)
+        gate = compare_reports(current, doctored)
+        assert gate["ok"] is False
+        assert gate["geomean_ratio"] < 0.5
+        # the reported per-metric ratios stay raw — only the geo-mean
+        # input is capped
+        assert max(gate["ratios"].values()) > 5.0
 
     def test_missing_baseline_is_exit_2(self, tmp_path):
         result = run_bench("--quick", "--json",

@@ -1,0 +1,119 @@
+"""MetricsRegistry.snapshot() (and miss records) are frozen copies.
+
+Regression suite for the bugfix: a snapshot used to alias dict/list
+fields of live stats dataclasses, so a concurrent scrape (the serve
+metrics endpoint) could observe — or be retroactively changed by —
+in-flight mutation.  Snapshots must be isolated at the moment of capture.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.obs.attribution import MissRecord, PathTime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RecordingTracer
+
+
+@dataclass
+class _StatsWithContainers:
+    hits: int = 0
+    per_page: dict = field(default_factory=dict)
+    history: list = field(default_factory=list)
+
+    @property
+    def pages_touched(self) -> int:
+        return len(self.per_page)
+
+
+@dataclass
+class _Inner:
+    flips: int = 0
+
+
+@dataclass
+class _Outer:
+    inner: _Inner = field(default_factory=_Inner)
+    tags: list = field(default_factory=list)
+
+
+class TestSnapshotIsolation:
+    def test_dict_field_is_deep_copied(self):
+        registry = MetricsRegistry()
+        stats = _StatsWithContainers()
+        registry.register("mem", stats)
+        stats.per_page[7] = {"faults": 1}
+        snap = registry.snapshot()
+        stats.per_page[7]["faults"] = 999
+        stats.per_page[8] = {"faults": 5}
+        assert snap["mem.per_page"] == {7: {"faults": 1}}
+
+    def test_list_field_is_deep_copied(self):
+        registry = MetricsRegistry()
+        stats = _StatsWithContainers()
+        registry.register("mem", stats)
+        stats.history.append([1, 2])
+        snap = registry.snapshot()
+        stats.history[0].append(3)
+        stats.history.append([4])
+        assert snap["mem.history"] == [[1, 2]]
+
+    def test_scalars_and_properties_frozen_at_capture(self):
+        registry = MetricsRegistry()
+        stats = _StatsWithContainers()
+        registry.register("mem", stats)
+        stats.hits = 3
+        stats.per_page["a"] = 1
+        snap = registry.snapshot()
+        stats.hits = 100
+        stats.per_page["b"] = 2
+        assert snap["mem.hits"] == 3
+        assert snap["mem.pages_touched"] == 1
+
+    def test_nested_dataclass_containers(self):
+        registry = MetricsRegistry()
+        stats = _Outer()
+        registry.register("outer", stats)
+        stats.tags.append("warm")
+        snap = registry.snapshot()
+        stats.tags.append("hot")
+        stats.inner.flips = 9
+        assert snap["outer.tags"] == ["warm"]
+        assert snap["outer.inner.flips"] == 0
+
+    def test_snapshot_does_not_alias_snapshot(self):
+        # mutating one snapshot must not leak into another
+        registry = MetricsRegistry()
+        stats = _StatsWithContainers()
+        registry.register("mem", stats)
+        stats.per_page["x"] = 1
+        first = registry.snapshot()
+        second = registry.snapshot()
+        first["mem.per_page"]["x"] = 42
+        assert second["mem.per_page"] == {"x": 1}
+
+    def test_registry_instruments_unaffected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.requests")
+        counter.inc(5)
+        histogram = registry.histogram("serve.latency")
+        histogram.observe(10.0)
+        snap = registry.snapshot()
+        counter.inc(5)
+        histogram.observe(1000.0)
+        assert snap["serve.requests"] == 5
+        assert snap["serve.latency.count"] == 1
+
+
+class TestMissRecordIsolation:
+    def test_recorded_parts_detached_from_live_pathtime(self):
+        path = PathTime(0.0)
+        path.advance("bus", 10.0)
+        record = MissRecord(address=0, issue=0.0, data_ready=10.0,
+                            auth_done=10.0, parts=path.parts)
+        tracer = RecordingTracer(strict=True)
+        tracer.miss(record)
+        # the producer keeps advancing its PathTime after the record is
+        # taken; the recorded breakdown must not move with it
+        path.advance("tree", 25.0)
+        [kept] = tracer.misses
+        assert kept.parts == {"bus": 10.0}
+        assert kept.residual == 0.0

@@ -1,0 +1,108 @@
+"""Wire-format unit tests: framing round-trips, malformed-frame rejection."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+def _read(*chunks: bytes):
+    """Feed bytes to a StreamReader and read one frame.
+
+    The reader is built *inside* the running loop: constructing one
+    without a current event loop is a DeprecationWarning (an error under
+    the tier-1 filter) once any earlier ``asyncio.run`` has torn the
+    loop down.
+    """
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"id": 7, "op": "read", "addresses": [0, 64, 128],
+                   "nested": {"k": [1, 2, None, True]}}
+        assert decode_frame(encode_frame(payload)[4:]) == payload
+
+    def test_length_prefix_is_big_endian_payload_length(self):
+        frame = encode_frame({"id": 1})
+        body = json.dumps({"id": 1}, separators=(",", ":")).encode()
+        assert frame[:4] == len(body).to_bytes(4, "big")
+        assert frame[4:] == body
+
+    def test_read_frame_round_trip(self):
+        frame = encode_frame({"id": 3, "op": "ping"})
+        assert _read(frame) == {"id": 3, "op": "ping"}
+
+    def test_read_two_frames_then_clean_eof(self):
+        first = encode_frame({"id": 1})
+        second = encode_frame({"id": 2})
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(first + second)
+            reader.feed_eof()
+            assert (await read_frame(reader))["id"] == 1
+            assert (await read_frame(reader))["id"] == 2
+            assert await read_frame(reader) is None
+
+        asyncio.run(scenario())
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestMalformedFrames:
+    def test_declared_oversize_rejected_before_reading_payload(self):
+        # only the 4-byte header arrives; the reader must refuse without
+        # waiting for (or buffering) the declared 2 GB
+        header = (1 << 31).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="declared"):
+            _read(header)
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="frame header"):
+            _read(b"\x00\x00")
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"id": 9, "op": "ping"})
+        with pytest.raises(ProtocolError, match="closed inside a frame"):
+            _read(frame[:-3])
+
+    def test_non_json_payload(self):
+        body = b"definitely not json"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            _read(frame)
+
+    def test_non_object_payload(self):
+        body = json.dumps([1, 2, 3]).encode()
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            _read(frame)
+
+    def test_non_utf8_payload(self):
+        body = b"\xff\xfe\xfd\xfc"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            _read(frame)
+
+    def test_encode_rejects_non_dict(self):
+        with pytest.raises(ProtocolError, match="object"):
+            encode_frame([1, 2, 3])
