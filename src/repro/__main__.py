@@ -154,9 +154,18 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_sweep(args) -> int:
     import dataclasses
+    import signal
 
     from repro.resilience.runner import SweepCell, run_many
 
+    if args.resume and not args.queue_dir:
+        print("--resume needs --queue-dir (the queue holds the manifest "
+              "and results to resume)", file=sys.stderr)
+        return 2
+    if args.parallel < 1:
+        print(f"--parallel must be >= 1, got {args.parallel}",
+              file=sys.stderr)
+        return 2
     schemes = args.scheme or ["split+gcm"]
     for name in schemes:
         try:
@@ -185,15 +194,32 @@ def _cmd_sweep(args) -> int:
             print(str(exc), file=sys.stderr)
             return 2
 
-    total = len(cells)
-
     def progress(result) -> None:
         print(f"sweep: {result.cell.label} -> {result.status} "
               f"({result.attempts} attempt(s))", file=sys.stderr)
 
-    report = run_many(cells, timeout=args.timeout, retries=args.retries,
-                      retry_backoff=args.retry_backoff, progress=progress,
-                      out_path=args.out)
+    # SIGTERM drains exactly like Ctrl-C (run_many/run_fabric catch the
+    # KeyboardInterrupt, drain workers, and return the partial report) but
+    # exits 143 so a supervisor can tell "operator interrupt" from
+    # "terminated by the platform".
+    sigterm = {"hit": False}
+
+    def _on_sigterm(_signum, _frame) -> None:
+        sigterm["hit"] = True
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        report = run_many(cells, timeout=args.timeout, retries=args.retries,
+                          retry_backoff=args.retry_backoff,
+                          progress=progress, out_path=args.out,
+                          parallelism=args.parallel,
+                          queue_dir=args.queue_dir, resume=args.resume,
+                          heartbeat_interval=args.heartbeat_interval,
+                          lease_ttl=args.lease_ttl,
+                          checkpoint_refs=args.checkpoint_refs)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     if args.out:
         print(f"sweep: report at {args.out} (updated after every cell)",
               file=sys.stderr)
@@ -208,10 +234,12 @@ def _cmd_sweep(args) -> int:
             print(line)
         counts = report.counts()
         summary = ", ".join(f"{counts[key]} {key}" for key in sorted(counts))
-        print(f"sweep: {total} cell(s): {summary}"
+        # a --resume run adopts the queue's manifest, so the real cell
+        # count is whatever the report came back with, not the CLI args
+        print(f"sweep: {len(report.cells)} cell(s): {summary}"
               + ("  [INTERRUPTED]" if report.interrupted else ""))
     if report.interrupted:
-        return 130
+        return 143 if sigterm["hit"] else 130
     return 0 if report.ok else 1
 
 
@@ -444,13 +472,37 @@ def main(argv: list[str] | None = None) -> int:
                        help="base retry delay, doubles per retry")
     sweep.add_argument("--inject", action="append", metavar="KIND@INDEX",
                        help="test hook: make cell INDEX misbehave (crash, "
-                            "hang, crash-always, hang-always; repeatable)")
+                            "hang, crash-always, hang-always; with "
+                            "--parallel also kill9:N / killworker:N — "
+                            "SIGKILL after the Nth checkpoint; repeatable)")
     sweep.add_argument("--json", action="store_true",
                        help="emit one machine-readable JSON report")
     sweep.add_argument("--out", metavar="PATH",
                        help="stream the report here (rewritten atomically "
                             "after every finished cell, so a crash or "
                             "Ctrl-C leaves a valid partial report)")
+    sweep.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="worker processes; >1 routes the sweep through "
+                            "the crash-tolerant fabric (default 1: serial)")
+    sweep.add_argument("--queue-dir", metavar="DIR",
+                       help="fabric work-stealing queue directory; point a "
+                            "second invocation (or host on a shared "
+                            "filesystem) at the same DIR to cooperate")
+    sweep.add_argument("--resume", action="store_true",
+                       help="adopt the manifest already in --queue-dir and "
+                            "skip every cell with a published result")
+    sweep.add_argument("--lease-ttl", type=float, default=10.0,
+                       metavar="SEC",
+                       help="reclaim a cell whose lease heartbeat is older "
+                            "(or more future-dated) than this (default 10)")
+    sweep.add_argument("--heartbeat-interval", type=float, default=0.5,
+                       metavar="SEC",
+                       help="lease renewal cadence (default 0.5)")
+    sweep.add_argument("--checkpoint-refs", type=int, default=2_000,
+                       metavar="REFS",
+                       help="mid-cell checkpoint cadence so reclaimed or "
+                            "retried cells resume instead of rerunning "
+                            "(default 2000)")
     prof = sub.add_parser(
         "profile", help="traced simulation with per-miss cycle attribution")
     prof.add_argument("--app", default="swim", choices=SPEC_APPS)

@@ -268,7 +268,8 @@ class Experiment:
 
     def run(self, *, checkpoint_every: int | None = None,
             checkpoint_path: str | None = None,
-            resume_from: str | None = None) -> ExperimentResult:
+            resume_from: str | None = None,
+            checkpoint_hook=None) -> ExperimentResult:
         """Simulate the experiment (checkpointing / resuming on request).
 
         With ``checkpoint_every``/``checkpoint_path``, the run writes one
@@ -287,12 +288,21 @@ class Experiment:
         different configuration/experiment raises :class:`ValueError`
         (:class:`~repro.resilience.CheckpointError` is a subclass) before
         any simulation work starts — never deep inside the run.
+
+        ``checkpoint_hook`` (requires ``checkpoint_path``) is called with
+        no arguments after every checkpoint file lands on disk — the
+        fabric uses it to renew work leases and drive deterministic chaos
+        injection at exact checkpoint boundaries.
         """
         trace = self._trace()
         checkpointing = (checkpoint_every is not None
                          or checkpoint_path is not None
                          or resume_from is not None)
         resume_payload = None
+        if checkpoint_hook is not None and checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_hook requires checkpoint_path: the hook fires "
+                "after each checkpoint write, so there must be one")
         if checkpointing:
             resume_payload = self._validate_checkpoint_args(
                 trace, checkpoint_every=checkpoint_every,
@@ -305,7 +315,8 @@ class Experiment:
             result = self._run_checkpointed(
                 trace, checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path,
-                resume_payload=resume_payload)
+                resume_payload=resume_payload,
+                checkpoint_hook=checkpoint_hook)
         else:
             result = simulate(self.config, trace,
                               warmup_refs=self.warmup_refs,
@@ -423,7 +434,8 @@ class Experiment:
 
     def _run_checkpointed(self, trace, *, checkpoint_every: int | None,
                           checkpoint_path: str | None,
-                          resume_payload: dict | None) -> SimResult:
+                          resume_payload: dict | None,
+                          checkpoint_hook=None) -> SimResult:
         from repro.resilience.checkpoint import (
             checkpoint_simulation,
             save_checkpoint,
@@ -441,6 +453,8 @@ class Experiment:
                 save_checkpoint(checkpoint_path,
                                 checkpoint_simulation(processor, loop,
                                                       meta=meta))
+                if checkpoint_hook is not None:
+                    checkpoint_hook()
         return processor.run(trace, warmup_refs=self.warmup_refs,
                              resume=resume_state,
                              checkpoint_every=checkpoint_every,
@@ -469,7 +483,11 @@ def run(config: SecureMemoryConfig | str, workload: Any = "swim", *,
 
 
 def run_many(cells, *, timeout: float | None = None, retries: int = 1,
-             retry_backoff: float = 0.25, progress=None):
+             retry_backoff: float = 0.25, progress=None,
+             parallelism: int = 1, queue_dir: str | None = None,
+             resume: bool = False, heartbeat_interval: float = 0.5,
+             lease_ttl: float = 10.0, checkpoint_refs: int = 2000,
+             max_worker_restarts: int | None = None):
     """Supervised sweep over many experiments (subprocess isolation).
 
     A facade over :func:`repro.resilience.run_many` (imported lazily).
@@ -478,11 +496,19 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
     per-cell wall-clock ``timeout`` and crash/timeout ``retries``.  Returns
     a :class:`repro.resilience.SweepReport` whose ``to_dict()`` marks every
     cell ``ok``/``failed``/``timeout``/``skipped``.
+
+    ``parallelism``/``queue_dir``/``resume`` (and the fabric tuning knobs)
+    route the sweep through the crash-tolerant distributed fabric — see
+    :func:`repro.resilience.fabric.run_fabric` for the full story.
     """
     from repro.resilience.runner import run_many as _run_many
 
     return _run_many(cells, timeout=timeout, retries=retries,
-                     retry_backoff=retry_backoff, progress=progress)
+                     retry_backoff=retry_backoff, progress=progress,
+                     parallelism=parallelism, queue_dir=queue_dir,
+                     resume=resume, heartbeat_interval=heartbeat_interval,
+                     lease_ttl=lease_ttl, checkpoint_refs=checkpoint_refs,
+                     max_worker_restarts=max_worker_restarts)
 
 
 @dataclass

@@ -8,11 +8,14 @@ Three layers, importable from this package:
 * :mod:`repro.resilience.checkpoint` — versioned, integrity-summed
   serialization of full machine state for deterministic resume;
 * :mod:`repro.resilience.runner` — the supervised sweep runner
-  (subprocess isolation, timeouts, retry, partial results).
+  (subprocess isolation, timeouts, retry, partial results);
+* :mod:`repro.resilience.fabric` — the distributed crash-tolerant sweep
+  fabric (filesystem work-stealing queue, lease heartbeats, per-cell
+  checkpoint resume, append-only result streaming).
 
-``checkpoint`` and ``runner`` import the heavy core/sim layers at module
-scope, which would cycle with ``secure_memory``'s eager import of
-``recovery`` — so their names resolve lazily (PEP 562).
+``checkpoint``, ``runner``, and ``fabric`` import the heavy core/sim
+layers at module scope, which would cycle with ``secure_memory``'s eager
+import of ``recovery`` — so their names resolve lazily (PEP 562).
 """
 
 from __future__ import annotations
@@ -49,10 +52,25 @@ _CHECKPOINT_NAMES = frozenset({
 
 _RUNNER_NAMES = frozenset({
     "CellResult",
+    "SWEEP_SCHEMA",
     "SweepCell",
     "SweepReport",
     "load_sweep_report",
+    "parse_inject",
     "run_many",
+})
+
+_FABRIC_NAMES = frozenset({
+    "FabricSettings",
+    "FabricStats",
+    "MANIFEST_SCHEMA",
+    "QueuePaths",
+    "cell_id",
+    "init_queue",
+    "lease_is_stale",
+    "load_manifest",
+    "read_events",
+    "run_fabric",
 })
 
 __all__ = [
@@ -66,6 +84,7 @@ __all__ = [
     "backoff_delay",
     *sorted(_CHECKPOINT_NAMES),
     *sorted(_RUNNER_NAMES),
+    *sorted(_FABRIC_NAMES),
 ]
 
 
@@ -76,4 +95,7 @@ def __getattr__(name: str):
     if name in _RUNNER_NAMES:
         from repro.resilience import runner
         return getattr(runner, name)
+    if name in _FABRIC_NAMES:
+        from repro.resilience import fabric
+        return getattr(fabric, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,896 @@
+"""Crash-tolerant distributed sweep fabric: a filesystem work-stealing queue.
+
+The fabric scales :func:`repro.resilience.runner.run_many` from one
+serial supervisor to a pool of spawn-isolated worker processes — and,
+because every coordination primitive is a file under one ``queue_dir``,
+to multiple cooperating invocations (two terminals, two hosts on a
+shared filesystem) with zero extra machinery.  The layout::
+
+    queue_dir/
+      manifest.json        # the sweep: cell list + settings (atomic write)
+      leases/<cell>.json   # at most one per in-flight cell (O_EXCL claim)
+      results/<cell>.json  # append-only terminal verdicts (atomic publish)
+      checkpoints/<cell>.ckpt  # rolling mid-cell simulation checkpoints
+      meta/<cell>.json     # cumulative attempt counter (metadata only)
+      workers/<id>.json    # worker registry: pid + start time
+      events.log           # append-only JSON-lines event journal
+
+Protocol invariants (the resume-correctness argument, also DESIGN.md
+section 17):
+
+* **Claims are exclusive-create.**  A worker owns a cell iff it created
+  ``leases/<cell>.json`` with ``O_CREAT | O_EXCL`` (or reclaimed a stale
+  one and then won the exclusive re-create).  The lease carries a random
+  nonce; renewal and release verify the nonce so a worker that lost its
+  lease can never clobber the new owner's.
+* **Heartbeats bound staleness in both directions.**  The owner rewrites
+  its lease (atomically) every ``heartbeat_interval``.  Any worker may
+  reclaim a lease whose heartbeat is older than ``lease_ttl`` — a worker
+  killed with SIGKILL simply forfeits its cell — *or* more than
+  ``lease_ttl`` in the future, so a clock-skewed (or maliciously
+  future-dated) heartbeat cannot park a cell forever.
+* **Leases are an efficiency device, not a correctness device.**  In the
+  rare race where two workers end up simulating the same cell, both
+  compute the identical deterministic result and the atomic
+  ``os.replace`` publish makes the duplicate write invisible.
+  Correctness rests on (a) deterministic cells, (b) atomic result
+  publication, (c) the completed-result check before every claim.
+* **Checkpoints make reclaims cheap.**  Each in-flight cell checkpoints
+  through the versioned container every ``checkpoint_refs`` references;
+  a reclaimed or retried cell resumes mid-simulation (bit-identically —
+  the PR-4 guarantee) instead of rerunning.  A corrupt checkpoint or
+  result file is quarantined to ``*.corrupt`` and the cell re-runs; it
+  is never silently trusted and never crashes the sweep.
+
+The coordinator (:func:`run_fabric`) spawns the local worker pool,
+streams completed cells into the report as they land, restarts crashed
+workers up to a budget, and aggregates the event journal into
+``fabric.*`` metrics through :class:`repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field, fields
+
+from repro.obs import MetricsRegistry
+from repro.resilience.checkpoint import CheckpointError, atomic_write_json
+from repro.resilience.runner import (
+    CellResult,
+    SweepCell,
+    SweepReport,
+    parse_inject,
+)
+
+__all__ = [
+    "FabricSettings",
+    "FabricStats",
+    "MANIFEST_SCHEMA",
+    "QueuePaths",
+    "cell_id",
+    "init_queue",
+    "load_manifest",
+    "read_events",
+    "run_fabric",
+]
+
+MANIFEST_SCHEMA = "repro-sweep-manifest/1"
+
+#: terminal statuses a result file may carry; anything else is corrupt
+_TERMINAL = ("ok", "failed", "timeout")
+
+#: bounds (seconds) for the heartbeat-age histogram — heartbeats are
+#: sub-second in health, minutes only when something died
+_HEARTBEAT_BOUNDS = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+
+@dataclass(frozen=True)
+class FabricSettings:
+    """Knobs shared by the coordinator and every worker (via the spawn
+    args), recorded informationally in the manifest."""
+
+    parallelism: int = 2
+    timeout: float | None = None       # per-attempt wall clock, like run_many
+    retries: int = 1                   # extra attempts per claim
+    retry_backoff: float = 0.25
+    heartbeat_interval: float = 0.5
+    lease_ttl: float = 10.0
+    checkpoint_refs: int = 2_000       # mid-cell checkpoint cadence (refs)
+    poll_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {self.parallelism}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.checkpoint_refs < 1:
+            raise ValueError(
+                f"checkpoint_refs must be >= 1, got {self.checkpoint_refs}")
+        if self.lease_ttl <= 0 or self.heartbeat_interval <= 0:
+            raise ValueError("lease_ttl and heartbeat_interval must be > 0")
+        if self.lease_ttl <= 2 * self.heartbeat_interval:
+            raise ValueError(
+                f"lease_ttl ({self.lease_ttl}s) must exceed two heartbeat "
+                f"intervals ({self.heartbeat_interval}s each) or healthy "
+                "workers get their leases stolen")
+
+    def to_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FabricSettings":
+        names = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in names})
+
+
+@dataclass
+class FabricStats:
+    """Counters aggregated from the event journal; registered under
+    ``fabric.`` in the coordinator's :class:`MetricsRegistry`."""
+
+    cells_total: int = 0
+    cells_completed: int = 0
+    cells_leased: int = 0          # successful claims
+    cells_reclaimed: int = 0       # claims that evicted a stale lease
+    cells_resumed: int = 0         # attempts resumed from a checkpoint
+    cells_retried: int = 0         # in-claim retry after crash/timeout
+    cells_lost: int = 0            # lease lost mid-cell (abandoned, no publish)
+    worker_restarts: int = 0
+    results_quarantined: int = 0
+    checkpoints_quarantined: int = 0
+
+
+class QueuePaths:
+    """Path arithmetic for one queue directory."""
+
+    __slots__ = ("root",)
+
+    _DIRS = ("leases", "results", "checkpoints", "meta", "workers")
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+
+    @property
+    def manifest(self) -> str:
+        return os.path.join(self.root, "manifest.json")
+
+    @property
+    def events(self) -> str:
+        return os.path.join(self.root, "events.log")
+
+    def lease(self, cid: str) -> str:
+        return os.path.join(self.root, "leases", cid + ".json")
+
+    def result(self, cid: str) -> str:
+        return os.path.join(self.root, "results", cid + ".json")
+
+    def checkpoint(self, cid: str) -> str:
+        return os.path.join(self.root, "checkpoints", cid + ".ckpt")
+
+    def meta(self, cid: str) -> str:
+        return os.path.join(self.root, "meta", cid + ".json")
+
+    def worker(self, wid: str) -> str:
+        return os.path.join(self.root, "workers", wid + ".json")
+
+    def ensure(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        for name in self._DIRS:
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+
+
+def cell_id(index: int, cell: SweepCell) -> str:
+    """Stable, filesystem-safe identity of one manifest cell."""
+    slug = "-".join(
+        "".join(ch if ch.isalnum() else "-" for ch in part)
+        for part in (cell.scheme, cell.app))
+    return f"{index:04d}-{slug}"
+
+
+# -- event journal ------------------------------------------------------------
+
+
+def _log_event(paths: QueuePaths, **payload) -> None:
+    """Append one JSON line to the journal.
+
+    A single small ``O_APPEND`` write is atomic on POSIX local
+    filesystems; readers skip unparseable lines defensively anyway.  The
+    journal is observability plus test evidence (attempt counts prove no
+    completed cell ran twice) — never a correctness input.
+    """
+    payload.setdefault("t", time.time())
+    line = json.dumps(payload, separators=(",", ":")) + "\n"
+    flags = os.O_CREAT | os.O_WRONLY | os.O_APPEND
+    fd = os.open(paths.events, flags, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def read_events(queue_dir: str) -> list[dict]:
+    """Every parseable journal line, in append order."""
+    paths = QueuePaths(queue_dir)
+    events: list[dict] = []
+    try:
+        with open(paths.events, "r", encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+    except OSError:
+        pass
+    return events
+
+
+# -- manifest -----------------------------------------------------------------
+
+
+def init_queue(queue_dir: str, cells: list[SweepCell],
+               settings: FabricSettings, *,
+               resume: bool = False) -> list[tuple[str, SweepCell]]:
+    """Create or adopt the queue's manifest; return ``(id, cell)`` pairs.
+
+    A fresh directory gets a manifest built from ``cells``.  An existing
+    manifest is adopted when ``resume=True`` (the caller's cells are
+    ignored — the manifest is the sweep) or when the caller's cells match
+    it exactly (the two-terminal join case); a mismatch without
+    ``resume`` raises :class:`CheckpointError` instead of silently mixing
+    two different sweeps in one directory.
+    """
+    paths = QueuePaths(queue_dir)
+    paths.ensure()
+    if os.path.exists(paths.manifest):
+        entries = load_manifest(queue_dir)
+        if not resume:
+            mine = [cell.to_dict() for cell in cells]
+            theirs = [cell.to_dict() for _, cell in entries]
+            if mine != theirs:
+                raise CheckpointError(
+                    f"queue dir {queue_dir!r} already holds a different "
+                    "sweep manifest; pass resume=True to continue it or "
+                    "point at a fresh queue dir")
+        return entries
+    if resume:
+        raise CheckpointError(
+            f"nothing to resume: no manifest in {queue_dir!r}")
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "settings": settings.to_dict(),
+        "cells": [{"id": cell_id(index, cell), "cell": cell.to_dict()}
+                  for index, cell in enumerate(cells)],
+    }
+    atomic_write_json(paths.manifest, manifest)
+    return [(entry["id"], SweepCell.from_dict(entry["cell"]))
+            for entry in manifest["cells"]]
+
+
+def load_manifest(queue_dir: str) -> list[tuple[str, SweepCell]]:
+    """Read and validate the manifest; raises :class:`CheckpointError`."""
+    paths = QueuePaths(queue_dir)
+    try:
+        with open(paths.manifest, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read sweep manifest {paths.manifest!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"sweep manifest {paths.manifest!r} is corrupt: {exc}") from exc
+    if (not isinstance(manifest, dict)
+            or manifest.get("schema") != MANIFEST_SCHEMA):
+        raise CheckpointError(
+            f"{paths.manifest!r} is not a {MANIFEST_SCHEMA} manifest")
+    return [(entry["id"], SweepCell.from_dict(entry["cell"]))
+            for entry in manifest["cells"]]
+
+
+# -- results ------------------------------------------------------------------
+
+
+def _load_result(paths: QueuePaths, cid: str, *,
+                 quarantine_by: str | None = None) -> dict | None:
+    """The cell's published terminal verdict, or ``None``.
+
+    A present-but-invalid file (torn by a non-atomic writer, bit-rotted,
+    truncated) is never trusted: with ``quarantine_by`` it is atomically
+    renamed to ``<result>.corrupt`` (journaled) so the cell re-enqueues;
+    without, it is just treated as absent.
+    """
+    path = paths.result(cid)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if (not isinstance(payload, dict) or "cell" not in payload
+                or payload.get("status") not in _TERMINAL):
+            raise ValueError(f"not a terminal cell result: {path!r}")
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        if quarantine_by is not None:
+            try:
+                os.replace(path, path + ".corrupt")
+                _log_event(paths, event="result_quarantined", cell=cid,
+                           worker=quarantine_by, error=str(exc))
+            except FileNotFoundError:
+                pass             # another scanner quarantined it first
+        return None
+    return payload
+
+
+# -- lease protocol -----------------------------------------------------------
+
+
+def _lease_payload(worker_id: str, nonce: str) -> dict:
+    return {"worker": worker_id, "nonce": nonce, "pid": os.getpid(),
+            "heartbeat": time.time()}
+
+
+def _read_lease(path: str) -> dict | None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return payload if isinstance(payload, dict) else None
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def lease_is_stale(lease: dict | None, mtime: float, now: float,
+                   ttl: float) -> bool:
+    """Whether a lease has expired (or is implausibly future-dated).
+
+    ``heartbeat`` older than ``ttl`` means the owner stopped renewing —
+    crashed, SIGKILLed, or partitioned — and the cell is up for grabs.
+    A heartbeat more than ``ttl`` *ahead* of our clock is treated as
+    stale too: an owner with that much forward skew can never be
+    distinguished from one that will never expire, so the fabric prefers
+    a (correctness-safe) duplicate claim over a wedged cell.  An
+    unreadable lease falls back to the file mtime.
+    """
+    heartbeat = mtime
+    if lease is not None and isinstance(lease.get("heartbeat"), (int, float)):
+        heartbeat = float(lease["heartbeat"])
+    age = now - heartbeat
+    return age > ttl or age < -ttl
+
+
+def _try_claim(paths: QueuePaths, cid: str, worker_id: str, nonce: str,
+               ttl: float) -> tuple[bool, bool]:
+    """Attempt to acquire the cell's lease.
+
+    Returns ``(claimed, reclaimed_stale)``.  The claim itself is the
+    ``O_CREAT | O_EXCL`` create; reclaiming first unlinks a lease that
+    :func:`lease_is_stale` and then races the re-create like everyone
+    else.
+    """
+    path = paths.lease(cid)
+    payload = json.dumps(_lease_payload(worker_id, nonce)).encode("utf-8")
+    for reclaimed in (False, True):
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            if reclaimed:
+                return False, False
+            lease = _read_lease(path)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                continue         # vanished: released or reclaimed; retry
+            if not lease_is_stale(lease, mtime, time.time(), ttl):
+                return False, False
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            continue
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+        return True, reclaimed
+    return False, False
+
+
+def _renew_lease(paths: QueuePaths, cid: str, worker_id: str,
+                 nonce: str) -> bool:
+    """Refresh the heartbeat iff we still own the lease.
+
+    Reads the current lease first: a different nonce means the lease was
+    reclaimed out from under us (we stalled past the TTL) — the caller
+    must abandon the cell without publishing.
+    """
+    path = paths.lease(cid)
+    lease = _read_lease(path)
+    if lease is None or lease.get("nonce") != nonce:
+        return False
+    atomic_write_json(path, _lease_payload(worker_id, nonce), indent=0)
+    return True
+
+
+def _release_lease(paths: QueuePaths, cid: str, nonce: str) -> None:
+    path = paths.lease(cid)
+    lease = _read_lease(path)
+    if lease is not None and lease.get("nonce") == nonce:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+
+# -- attempt metadata ---------------------------------------------------------
+
+
+def _read_attempts(paths: QueuePaths, cid: str) -> int:
+    try:
+        with open(paths.meta(cid), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return int(payload.get("attempts", 0))
+    except (OSError, ValueError, json.JSONDecodeError):
+        return 0
+
+
+def _quarantine(path: str) -> bool:
+    try:
+        os.replace(path, path + ".corrupt")
+        return True
+    except FileNotFoundError:
+        return False
+
+
+# -- cell execution (grandchild process) --------------------------------------
+
+
+def _cell_child(conn, cell_dict: dict, attempt: int, queue_dir: str,
+                cid: str, settings_dict: dict) -> None:
+    """Simulate one cell, checkpointing as it goes; report over the pipe.
+
+    Runs as a spawn-isolated grandchild of the coordinator so a segfault
+    or ``os._exit`` can only ever cost one attempt.  A checkpoint left by
+    a previous attempt (this worker's or a dead one's) is resumed
+    bit-identically; a corrupt or mismatched checkpoint is quarantined to
+    ``*.corrupt`` and the cell restarts from scratch — loudly journaled,
+    never fatal.
+
+    Chaos inject hooks (fabric-only; see :class:`SweepCell`):
+
+    * ``kill9:N`` — SIGKILL *this* process right after writing its N-th
+      checkpoint (first overall attempt only): exercises in-worker crash
+      retry with mid-cell resume.
+    * ``killworker:N`` — SIGKILL the parent worker first, then this
+      process: exercises stale-lease reclaim + coordinator restart.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    cell = SweepCell.from_dict(cell_dict)
+    settings = FabricSettings.from_dict(settings_dict)
+    paths = QueuePaths(queue_dir)
+    base, arg, always = parse_inject(cell.inject)
+    if base in ("crash", "hang") and (always or attempt == 1):
+        if base == "crash":
+            os._exit(17)
+        while True:                        # "hang": wait for terminate()
+            time.sleep(3600)
+    kill_after = (arg if base in ("kill9", "killworker") and attempt == 1
+                  else None)
+    try:
+        from repro.api import Experiment
+        from repro.resilience.checkpoint import load_checkpoint
+
+        ckpt_path = paths.checkpoint(cid)
+        resume_from = None
+        if os.path.isfile(ckpt_path):
+            try:
+                load_checkpoint(ckpt_path, kind="simulation")
+                resume_from = ckpt_path
+            except CheckpointError as exc:
+                if _quarantine(ckpt_path):
+                    _log_event(paths, event="checkpoint_quarantined",
+                               cell=cid, error=str(exc))
+
+        checkpoints_written = 0
+
+        def checkpoint_hook() -> None:
+            nonlocal checkpoints_written
+            checkpoints_written += 1
+            if kill_after is not None and checkpoints_written == kill_after:
+                if base == "killworker":
+                    os.kill(os.getppid(), signal.SIGKILL)
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        def simulate(resume: str | None):
+            experiment = Experiment(cell.scheme, cell.app, refs=cell.refs,
+                                    warmup_refs=cell.warmup_refs)
+            return experiment.run(
+                checkpoint_every=settings.checkpoint_refs,
+                checkpoint_path=ckpt_path, resume_from=resume,
+                checkpoint_hook=checkpoint_hook)
+
+        try:
+            result = simulate(resume_from)
+        except CheckpointError as exc:
+            # the checkpoint parsed but did not belong to this cell
+            # (config/trace mismatch after a manifest edit): quarantine
+            # and rerun from scratch rather than fail the cell
+            if resume_from is None:
+                raise
+            if _quarantine(ckpt_path):
+                _log_event(paths, event="checkpoint_quarantined",
+                           cell=cid, error=str(exc))
+            resume_from = None
+            result = simulate(None)
+        conn.send({"ok": True, "result": result.to_dict(),
+                   "resumed": resume_from is not None})
+    except Exception as exc:        # noqa: BLE001 — verdict, not handling
+        conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+# -- worker loop (child process) ----------------------------------------------
+
+
+def _run_cell(context, paths: QueuePaths, cid: str, cell: SweepCell,
+              worker_id: str, nonce: str, settings: FabricSettings,
+              drain: dict) -> None:
+    """Execute one claimed cell to a terminal verdict (or abandon it).
+
+    Mirrors ``run_many``'s per-attempt supervision — spawn, wall-clock
+    budget, crash/timeout retries with backoff — while renewing the lease
+    every heartbeat.  Publishes the verdict atomically and releases the
+    lease; returns without publishing when draining or when the lease was
+    lost (so the new owner's eventual publish is the only one).
+    """
+    attempts_before = _read_attempts(paths, cid)
+    attempts = attempts_before
+    started = time.monotonic()
+    status = "failed"
+    error: str | None = None
+    payload: dict | None = None
+    resumed = False
+    while True:
+        attempts += 1
+        atomic_write_json(paths.meta(cid), {"attempts": attempts}, indent=0)
+        _log_event(paths, event="cell_started", cell=cid, worker=worker_id,
+                   attempt=attempts)
+        receiver, sender = context.Pipe(duplex=False)
+        child = context.Process(
+            target=_cell_child,
+            args=(sender, cell.to_dict(), attempts, paths.root, cid,
+                  settings.to_dict()),
+            daemon=True)
+        child.start()
+        sender.close()
+        deadline = (time.monotonic() + settings.timeout
+                    if settings.timeout is not None else None)
+        verdict_timeout = False
+        while True:
+            child.join(settings.heartbeat_interval)
+            if not child.is_alive():
+                break
+            if drain["hit"]:
+                child.terminate()
+                child.join(5)
+                receiver.close()
+                _log_event(paths, event="cell_drained", cell=cid,
+                           worker=worker_id, attempt=attempts)
+                _release_lease(paths, cid, nonce)
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                child.terminate()
+                child.join(5)
+                verdict_timeout = True
+                break
+            if not _renew_lease(paths, cid, worker_id, nonce):
+                # the lease was reclaimed: someone else owns the cell
+                # now — kill our attempt and never publish
+                child.terminate()
+                child.join(5)
+                receiver.close()
+                _log_event(paths, event="lease_lost", cell=cid,
+                           worker=worker_id, attempt=attempts)
+                return
+        if verdict_timeout:
+            status = "timeout"
+            error = (f"worker exceeded the {settings.timeout}s wall-clock "
+                     f"budget and was terminated")
+        else:
+            message = None
+            if receiver.poll():
+                try:
+                    message = receiver.recv()
+                except EOFError:
+                    message = None
+            if message is not None and message.get("ok"):
+                status, payload, error = "ok", message["result"], None
+                resumed = bool(message.get("resumed"))
+            elif message is not None:
+                status, error = "failed", message.get("error")
+            else:
+                status = "failed"
+                error = (f"worker died without reporting "
+                         f"(exit code {child.exitcode})")
+        receiver.close()
+        if status == "ok":
+            break
+        if attempts - attempts_before <= settings.retries and not drain["hit"]:
+            _log_event(paths, event="cell_retried", cell=cid,
+                       worker=worker_id, attempt=attempts, status=status)
+            time.sleep(settings.retry_backoff
+                       * (2 ** (attempts - attempts_before - 1)))
+            continue
+        break
+    verdict = CellResult(cell=cell, status=status, attempts=attempts,
+                         elapsed=time.monotonic() - started, error=error,
+                         result=payload, worker_id=worker_id,
+                         resumed_from_checkpoint=resumed)
+    atomic_write_json(paths.result(cid), verdict.to_dict())
+    if status == "ok":
+        try:
+            os.unlink(paths.checkpoint(cid))
+        except FileNotFoundError:
+            pass
+    _release_lease(paths, cid, nonce)
+    _log_event(paths, event="cell_finished", cell=cid, worker=worker_id,
+               status=status, attempts=attempts, resumed=resumed)
+
+
+def _worker_main(queue_dir: str, worker_id: str, offset: int,
+                 settings_dict: dict) -> None:
+    """One pool worker: scan, claim, execute, repeat until drained/done.
+
+    SIGINT is ignored (the coordinator owns interrupts); SIGTERM requests
+    a graceful drain — the in-flight attempt is terminated (its last
+    checkpoint survives), the lease released, and the worker exits 0.
+    ``offset`` rotates each worker's scan order so a freshly started pool
+    doesn't stampede the same first cell.
+    """
+    import secrets
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    drain = {"hit": False}
+
+    def _on_sigterm(_signum, _frame) -> None:
+        drain["hit"] = True
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    paths = QueuePaths(queue_dir)
+    settings = FabricSettings.from_dict(settings_dict)
+    atomic_write_json(paths.worker(worker_id),
+                      {"worker": worker_id, "pid": os.getpid(),
+                       "started": time.time()})
+    _log_event(paths, event="worker_started", worker=worker_id,
+               pid=os.getpid())
+    entries = load_manifest(queue_dir)
+    entries = entries[offset % max(1, len(entries)):] \
+        + entries[:offset % max(1, len(entries))]
+    context = multiprocessing.get_context("spawn")
+    drained = False
+    try:
+        while not drain["hit"]:
+            claimed_any = False
+            pending = 0
+            for cid, cell in entries:
+                if drain["hit"]:
+                    break
+                if _load_result(paths, cid,
+                                quarantine_by=worker_id) is not None:
+                    continue
+                pending += 1
+                nonce = secrets.token_hex(8)
+                claimed, reclaimed = _try_claim(paths, cid, worker_id,
+                                                nonce, settings.lease_ttl)
+                if not claimed:
+                    continue
+                if reclaimed:
+                    _log_event(paths, event="lease_reclaimed", cell=cid,
+                               worker=worker_id)
+                _log_event(paths, event="cell_claimed", cell=cid,
+                           worker=worker_id, reclaimed=reclaimed)
+                claimed_any = True
+                _run_cell(context, paths, cid, cell, worker_id, nonce,
+                          settings, drain)
+            if drain["hit"] or pending == 0:
+                break
+            if not claimed_any:
+                # every unfinished cell is leased elsewhere: wait for a
+                # result to land or a lease to go stale
+                time.sleep(settings.poll_interval)
+        drained = drain["hit"]
+    finally:
+        _log_event(paths, event="worker_stopped", worker=worker_id,
+                   drained=drained)
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+def _assemble_report(paths: QueuePaths, entries, *, interrupted: bool,
+                     fabric_section: dict) -> SweepReport:
+    """Build the report in manifest order from the results directory."""
+    report = SweepReport(interrupted=interrupted, fabric=fabric_section)
+    for cid, cell in entries:
+        payload = _load_result(paths, cid)
+        if payload is not None:
+            report.cells.append(CellResult.from_dict(payload))
+        else:
+            report.cells.append(CellResult(
+                cell=cell, status="skipped",
+                error=("interrupted before completion" if interrupted
+                       else "no workers completed this cell")))
+    return report
+
+
+def _aggregate_stats(queue_dir: str, stats: FabricStats) -> list[dict]:
+    """Fold the event journal into the counters; returns the events."""
+    events = read_events(queue_dir)
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.get("event", "?")] = \
+            counts.get(event.get("event", "?"), 0) + 1
+    stats.cells_leased = counts.get("cell_claimed", 0)
+    stats.cells_reclaimed = counts.get("lease_reclaimed", 0)
+    stats.cells_retried = counts.get("cell_retried", 0)
+    stats.cells_lost = counts.get("lease_lost", 0)
+    stats.results_quarantined = counts.get("result_quarantined", 0)
+    stats.checkpoints_quarantined = counts.get("checkpoint_quarantined", 0)
+    stats.cells_resumed = sum(
+        1 for event in events
+        if event.get("event") == "cell_finished" and event.get("resumed"))
+    return events
+
+
+def run_fabric(cells, *, queue_dir: str, parallelism: int = 2,
+               timeout: float | None = None, retries: int = 1,
+               retry_backoff: float = 0.25,
+               heartbeat_interval: float = 0.5, lease_ttl: float = 10.0,
+               checkpoint_refs: int = 2_000, resume: bool = False,
+               max_worker_restarts: int | None = None,
+               progress=None, out_path: str | None = None) -> SweepReport:
+    """Run a sweep through the distributed fabric; always returns a report.
+
+    Spawns ``parallelism`` local workers against ``queue_dir`` (other
+    invocations may point workers at the same directory concurrently),
+    streams completed cells into the report — and to ``out_path``,
+    atomically, as they land — restarts crashed workers up to
+    ``max_worker_restarts`` (default ``2 * parallelism``), and aggregates
+    the ``fabric.*`` metrics.  ``KeyboardInterrupt`` drains gracefully:
+    workers get SIGTERM, in-flight cells keep their checkpoints, and the
+    partial report comes back with ``interrupted=True`` — a later
+    ``resume=True`` invocation picks up exactly where it stopped,
+    skipping every published result wholesale.
+    """
+    cells = [cell if isinstance(cell, SweepCell)
+             else SweepCell.from_dict(dict(cell)) for cell in cells]
+    settings = FabricSettings(
+        parallelism=parallelism, timeout=timeout, retries=retries,
+        retry_backoff=retry_backoff, heartbeat_interval=heartbeat_interval,
+        lease_ttl=lease_ttl, checkpoint_refs=checkpoint_refs)
+    paths = QueuePaths(queue_dir)
+    entries = init_queue(queue_dir, cells, settings, resume=resume)
+    if max_worker_restarts is None:
+        max_worker_restarts = 2 * parallelism
+
+    registry = MetricsRegistry()
+    stats = FabricStats(cells_total=len(entries))
+    registry.register("fabric", stats)
+    heartbeat_age = registry.histogram("fabric.heartbeat_age_s",
+                                       bounds=_HEARTBEAT_BOUNDS)
+
+    context = multiprocessing.get_context("spawn")
+    workers: dict[str, multiprocessing.Process] = {}
+    worker_serial = 0
+
+    def spawn_worker(index: int) -> None:
+        nonlocal worker_serial
+        worker_serial += 1
+        wid = f"w{index}.{os.getpid()}" \
+            + (f".r{worker_serial - parallelism}"
+               if worker_serial > parallelism else "")
+        process = context.Process(
+            target=_worker_main,
+            args=(paths.root, wid, index, settings.to_dict()))
+        process.start()
+        workers[wid] = process
+
+    for index in range(parallelism):
+        spawn_worker(index)
+
+    surfaced: set[str] = set()
+    interrupted = False
+
+    def sweep_results() -> int:
+        """Surface newly published results; returns the completed count."""
+        done = 0
+        fresh = False
+        for cid, _cell in entries:
+            payload = _load_result(paths, cid, quarantine_by="coordinator")
+            if payload is None:
+                continue
+            done += 1
+            if cid not in surfaced:
+                surfaced.add(cid)
+                fresh = True
+                if progress is not None:
+                    progress(CellResult.from_dict(payload))
+        if fresh and out_path is not None:
+            stats.cells_completed = done
+            _aggregate_stats(paths.root, stats)
+            atomic_write_json(out_path, _assemble_report(
+                paths, entries, interrupted=False,
+                fabric_section=_fabric_section()).to_dict())
+        return done
+
+    def sample_heartbeats() -> None:
+        now = time.time()
+        for cid, _cell in entries:
+            lease = _read_lease(paths.lease(cid))
+            if lease is not None and isinstance(lease.get("heartbeat"),
+                                                (int, float)):
+                heartbeat_age.observe(max(0.0, now - lease["heartbeat"]))
+
+    def _fabric_section() -> dict:
+        snapshot = registry.snapshot()
+        return {
+            "queue_dir": paths.root,
+            "parallelism": parallelism,
+            "settings": settings.to_dict(),
+            "workers": sorted(workers),
+            "metrics": snapshot,
+        }
+
+    restarts_left = max_worker_restarts
+    try:
+        while True:
+            done = sweep_results()
+            sample_heartbeats()
+            if done >= len(entries):
+                break
+            for wid, process in list(workers.items()):
+                if process.is_alive():
+                    continue
+                del workers[wid]
+                if process.exitcode != 0 and restarts_left > 0:
+                    restarts_left -= 1
+                    stats.worker_restarts += 1
+                    _log_event(paths, event="worker_restarted", worker=wid,
+                               exitcode=process.exitcode)
+                    spawn_worker(len(workers))
+            if not workers:
+                if restarts_left > 0:
+                    # every local worker exited (e.g. all cells were
+                    # leased by a peer invocation that then died): spin
+                    # one back up rather than wedge
+                    restarts_left -= 1
+                    stats.worker_restarts += 1
+                    spawn_worker(0)
+                else:
+                    break
+            time.sleep(settings.poll_interval)
+    except KeyboardInterrupt:
+        interrupted = True
+        for process in workers.values():
+            if process.is_alive():
+                process.terminate()        # SIGTERM: graceful drain
+    finally:
+        deadline = time.monotonic() + 30
+        for process in workers.values():
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(5)
+    stats.cells_completed = sweep_results()
+    sample_heartbeats()
+    _aggregate_stats(paths.root, stats)
+    report = _assemble_report(paths, entries, interrupted=interrupted,
+                              fabric_section=_fabric_section())
+    if out_path is not None:
+        atomic_write_json(out_path, report.to_dict())
+    return report

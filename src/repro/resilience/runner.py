@@ -25,13 +25,52 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "CellResult",
+    "SWEEP_SCHEMA",
     "SweepCell",
     "SweepReport",
     "load_sweep_report",
+    "parse_inject",
     "run_many",
 ]
 
+#: report schema emitted by ``SweepReport.to_dict``.  v2 added per-cell
+#: ``worker_id`` / ``resumed_from_checkpoint`` (and kept ``attempts``)
+#: plus the optional ``fabric`` section; v1 reports (no ``schema`` key)
+#: stay readable through :func:`load_sweep_report`.
+SWEEP_SCHEMA = "repro-sweep/2"
+
 _INJECT_KINDS = ("crash", "hang")
+#: fabric-only inject kinds, parameterized ``kind:N`` (see
+#: :mod:`repro.resilience.fabric`); the serial runner ignores them
+_FABRIC_INJECT_KINDS = ("kill9", "killworker")
+
+
+def parse_inject(spec: str | None) -> tuple[str | None, int | None, bool]:
+    """Split an inject spec into ``(base, arg, always)``.
+
+    Grammar: ``crash`` / ``hang``, optionally suffixed ``-always``; or
+    ``kill9:N`` / ``killworker:N`` (fabric-only — SIGKILL the cell child
+    / its worker right after checkpoint ``N`` on the first attempt).
+    Raises :class:`ValueError` on anything else.
+    """
+    if spec is None:
+        return None, None, False
+    base, colon, arg = spec.partition(":")
+    if colon:
+        if base in _FABRIC_INJECT_KINDS and arg.isdigit() and int(arg) >= 1:
+            return base, int(arg), False
+        raise ValueError(
+            f"unknown inject {spec!r}; parameterized kinds are "
+            f"{' or '.join(f'{kind}:N' for kind in _FABRIC_INJECT_KINDS)} "
+            "with N >= 1")
+    always = spec.endswith("-always")
+    base = spec[:-len("-always")] if always else spec
+    if base not in _INJECT_KINDS:
+        raise ValueError(
+            f"unknown inject {spec!r}; choose from {_INJECT_KINDS} "
+            f"(optionally suffixed '-always') or "
+            f"{'/'.join(_FABRIC_INJECT_KINDS)}:N")
+    return base, None, always
 
 
 @dataclass(frozen=True)
@@ -43,17 +82,13 @@ class SweepCell:
     refs: int = 20_000
     warmup_refs: int | None = None
     #: test hook: make the worker misbehave ("crash" / "hang" fail the
-    #: first attempt only; "crash-always" / "hang-always" every attempt)
+    #: first attempt only; "crash-always" / "hang-always" every attempt;
+    #: "kill9:N" / "killworker:N" SIGKILL the cell child / its fabric
+    #: worker after checkpoint N — fabric runs only, ignored serially)
     inject: str | None = None
 
     def __post_init__(self) -> None:
-        if self.inject is not None:
-            base = (self.inject[:-len("-always")]
-                    if self.inject.endswith("-always") else self.inject)
-            if base not in _INJECT_KINDS:
-                raise ValueError(
-                    f"unknown inject {self.inject!r}; choose from "
-                    f"{_INJECT_KINDS} (optionally suffixed '-always')")
+        parse_inject(self.inject)     # raises ValueError on bad specs
 
     @property
     def label(self) -> str:
@@ -90,6 +125,10 @@ class CellResult:
     error: str | None = None
     #: the worker's ``ExperimentResult.to_dict()`` when status is "ok"
     result: dict | None = None
+    #: which fabric worker published the verdict (None for serial runs)
+    worker_id: str | None = None
+    #: whether the winning attempt resumed from a per-cell checkpoint
+    resumed_from_checkpoint: bool = False
 
     @property
     def retried(self) -> bool:
@@ -104,7 +143,25 @@ class CellResult:
             "elapsed": self.elapsed,
             "error": self.error,
             "result": self.result,
+            "worker_id": self.worker_id,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        """Rebuild from :meth:`to_dict` output — v1 (no worker/resume
+        fields) and v2 cell records both load."""
+        return cls(
+            cell=SweepCell.from_dict(data["cell"]),
+            status=data["status"],
+            attempts=data.get("attempts", 0),
+            elapsed=data.get("elapsed", 0.0),
+            error=data.get("error"),
+            result=data.get("result"),
+            worker_id=data.get("worker_id"),
+            resumed_from_checkpoint=bool(
+                data.get("resumed_from_checkpoint", False)),
+        )
 
 
 @dataclass
@@ -113,6 +170,8 @@ class SweepReport:
 
     cells: list[CellResult] = field(default_factory=list)
     interrupted: bool = False
+    #: fabric runs attach their queue/metrics section here (None serially)
+    fabric: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -127,10 +186,12 @@ class SweepReport:
 
     def to_dict(self) -> dict:
         return {
+            "schema": SWEEP_SCHEMA,
             "cells": [cell.to_dict() for cell in self.cells],
             "counts": self.counts(),
             "interrupted": self.interrupted,
             "ok": self.ok,
+            "fabric": self.fabric,
         }
 
 
@@ -145,14 +206,14 @@ def _worker(conn, cell_dict: dict, attempt: int) -> None:
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     cell = SweepCell.from_dict(cell_dict)
-    if cell.inject is not None:
-        always = cell.inject.endswith("-always")
-        base = cell.inject[:-len("-always")] if always else cell.inject
-        if always or attempt == 1:
-            if base == "crash":
-                os._exit(17)
-            while True:                    # "hang": wait for terminate()
-                time.sleep(3600)
+    base, _arg, always = parse_inject(cell.inject)
+    # kill9/killworker are fabric hooks (they need a checkpoint stream to
+    # anchor to); the serial runner runs such cells normally
+    if base in _INJECT_KINDS and (always or attempt == 1):
+        if base == "crash":
+            os._exit(17)
+        while True:                        # "hang": wait for terminate()
+            time.sleep(3600)
     try:
         from repro import api
 
@@ -172,6 +233,12 @@ def load_sweep_report(path: str) -> dict:
     :class:`ValueError`) with a clear message on an unreadable, truncated,
     or corrupt file — never a raw :class:`json.JSONDecodeError` — so a
     harness resuming from a partial sweep fails loudly and legibly.
+
+    Reads both schema generations: a v1 report (written before the
+    ``schema`` key existed) is normalized in place — ``schema`` is set to
+    ``"repro-sweep/1"`` and every cell gains the v2 defaults
+    (``worker_id: None``, ``resumed_from_checkpoint: False``) — so
+    consumers can index v2 fields unconditionally.
     """
     import json
 
@@ -192,12 +259,26 @@ def load_sweep_report(path: str) -> dict:
         raise CheckpointError(
             f"sweep report {path!r} is not a sweep report "
             "(missing the 'cells' section)")
+    schema = payload.get("schema", "repro-sweep/1")
+    if schema not in ("repro-sweep/1", SWEEP_SCHEMA):
+        raise CheckpointError(
+            f"sweep report {path!r} has unsupported schema {schema!r} "
+            f"(this reader knows repro-sweep/1 and {SWEEP_SCHEMA})")
+    payload["schema"] = schema
+    for cell in payload["cells"]:
+        cell.setdefault("worker_id", None)
+        cell.setdefault("resumed_from_checkpoint", False)
+    payload.setdefault("fabric", None)
     return payload
 
 
 def run_many(cells, *, timeout: float | None = None, retries: int = 1,
              retry_backoff: float = 0.25, progress=None,
-             out_path: str | None = None) -> SweepReport:
+             out_path: str | None = None,
+             parallelism: int = 1, queue_dir: str | None = None,
+             resume: bool = False, heartbeat_interval: float = 0.5,
+             lease_ttl: float = 10.0, checkpoint_refs: int = 2000,
+             max_worker_restarts: int | None = None) -> SweepReport:
     """Run every cell under supervision; always returns a report.
 
     ``timeout`` is the per-attempt wall-clock budget in seconds (``None``
@@ -213,6 +294,19 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
     same directory + ``os.replace``), so even a SIGKILL leaves the last
     complete report on disk, never a truncated one.  Read it back with
     :func:`load_sweep_report`.
+
+    With ``parallelism > 1`` or an explicit ``queue_dir`` the sweep is
+    dispatched to the distributed fabric
+    (:func:`repro.resilience.fabric.run_fabric`): cells are sharded
+    across spawn-isolated workers via a filesystem work-stealing queue,
+    in-flight cells checkpoint every ``checkpoint_refs`` refs so
+    reclaimed or retried cells resume mid-simulation, and ``resume=True``
+    skips cells whose results already sit in ``queue_dir``.  A
+    ``queue_dir`` shared between invocations (or hosts on a shared
+    filesystem) makes them cooperate on one queue; without one, a
+    parallel run uses a private temporary queue.  The remaining fabric
+    knobs (``heartbeat_interval``, ``lease_ttl``,
+    ``max_worker_restarts``) are documented on :func:`run_fabric`.
     """
     from repro.resilience.checkpoint import atomic_write_json
 
@@ -220,6 +314,29 @@ def run_many(cells, *, timeout: float | None = None, retries: int = 1,
              else SweepCell.from_dict(dict(cell)) for cell in cells]
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    if resume and queue_dir is None:
+        raise ValueError("resume=True needs a queue_dir to resume from")
+    if parallelism > 1 or queue_dir is not None:
+        import tempfile
+
+        from repro.resilience.fabric import run_fabric
+
+        def _dispatch(qdir: str) -> SweepReport:
+            return run_fabric(
+                cells, queue_dir=qdir, parallelism=parallelism,
+                timeout=timeout, retries=retries,
+                retry_backoff=retry_backoff,
+                heartbeat_interval=heartbeat_interval, lease_ttl=lease_ttl,
+                checkpoint_refs=checkpoint_refs, resume=resume,
+                max_worker_restarts=max_worker_restarts,
+                progress=progress, out_path=out_path)
+
+        if queue_dir is not None:
+            return _dispatch(queue_dir)
+        with tempfile.TemporaryDirectory(prefix="repro-fabric-") as tmp:
+            return _dispatch(tmp)
     context = multiprocessing.get_context("spawn")
     report = SweepReport()
     process = None

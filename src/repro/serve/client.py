@@ -42,12 +42,27 @@ class ServeError(RuntimeError):
         self.detail = detail
 
 
-class ServeClient:
-    """One pipelined connection to the service."""
+#: distinguishes "request(timeout=None) — wait forever" from "no timeout
+#: argument — use the client default"
+_UNSET = object()
 
-    def __init__(self, host: str, port: int):
+
+class ServeClient:
+    """One pipelined connection to the service.
+
+    ``timeout`` is the default per-request deadline in seconds (``None``
+    waits forever); each :meth:`request` may override it.  A request that
+    misses its deadline raises :class:`ServeError` with code ``TIMEOUT``
+    and abandons only that request — the connection and every other
+    in-flight request stay healthy, so one hung shard cannot wedge a
+    pipelined sweep loop.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: float | None = None):
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._pending: dict[int, asyncio.Future] = {}
@@ -97,11 +112,20 @@ class ServeClient:
             pass
         self._fail_pending(ConnectionError("connection lost"))
 
-    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
+    async def request(self, op: str, *, timeout: float | None = _UNSET,
+                      **fields: Any) -> dict[str, Any]:
         """Send one request, await its matched response; raise ServeError
-        on ``ok: false``."""
+        on ``ok: false``.
+
+        ``timeout`` (seconds) overrides the client default for this one
+        request; on expiry the pending future is abandoned (its eventual
+        response, if any, is dropped by the pump) and :class:`ServeError`
+        with code ``TIMEOUT`` surfaces to the caller.
+        """
         if self._writer is None:
             raise RuntimeError("client is not connected")
+        if timeout is _UNSET:
+            timeout = self.timeout
         self._next_id += 1
         request_id = self._next_id
         payload = {"id": request_id, "op": op, **fields}
@@ -110,7 +134,21 @@ class ServeClient:
         async with self._write_lock:
             self._writer.write(encode_frame(payload))
             await self._writer.drain()
-        response = await future
+        if timeout is None:
+            response = await future
+        else:
+            try:
+                response = await asyncio.wait_for(
+                    asyncio.shield(future), timeout)
+            except asyncio.TimeoutError:
+                # abandon this request only: the wire id is never reused,
+                # so a straggler response is popped and dropped harmlessly
+                self._pending.pop(request_id, None)
+                future.cancel()
+                raise ServeError(
+                    ErrorCode.TIMEOUT,
+                    f"no response to {op!r} (id {request_id}) within "
+                    f"{timeout}s") from None
         if not response.get("ok"):
             raise ServeError(response.get("error", ErrorCode.INTERNAL),
                              response.get("detail", ""))

@@ -58,6 +58,7 @@ class ErrorCode:
     QUARANTINED = "QUARANTINED"      # page fenced by the quarantine policy
     HALTED = "HALTED"                # tenant halted by the halt policy
     SHUTDOWN = "SHUTDOWN"            # server is draining/stopping
+    TIMEOUT = "TIMEOUT"              # client-side per-request deadline hit
     INTERNAL = "INTERNAL"
 
 

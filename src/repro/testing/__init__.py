@@ -5,10 +5,23 @@ faults (:mod:`repro.testing.faults`), deterministic operation schedules
 (:mod:`repro.testing.schedule`), a differential oracle that classifies
 every injected fault as detected / neutralized / missed
 (:mod:`repro.testing.oracle`), ddmin-style schedule shrinking
-(:mod:`repro.testing.shrink`), and the campaign runner behind
-``python -m repro fuzz`` (:mod:`repro.testing.fuzz`).
+(:mod:`repro.testing.shrink`), the campaign runner behind
+``python -m repro fuzz`` (:mod:`repro.testing.fuzz`), and the
+sweep-fabric chaos harness — worker kills, stale/skewed leases, torn
+result files, byte-identical resume assertions
+(:mod:`repro.testing.chaos`).
 """
 
+from repro.testing.chaos import (
+    ChaosPlan,
+    assert_chaos_equivalent,
+    assert_no_duplicate_completions,
+    attempt_counts,
+    normalize_report,
+    plant_orphan_lease,
+    skew_lease_heartbeat,
+    tear_result_file,
+)
 from repro.testing.faults import (
     AdversarialBus,
     AdversarialDRAM,
@@ -36,6 +49,7 @@ from repro.testing.shrink import shrink_scenario
 __all__ = [
     "AdversarialBus",
     "AdversarialDRAM",
+    "ChaosPlan",
     "DifferentialResult",
     "FaultEvent",
     "FaultKind",
@@ -46,11 +60,18 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "Trigger",
+    "assert_chaos_equivalent",
+    "assert_no_duplicate_completions",
+    "attempt_counts",
     "format_report",
     "generate_scenario",
+    "normalize_report",
+    "plant_orphan_lease",
     "replay_reproducer",
     "run_differential_checks",
     "run_fuzz",
     "run_scenario",
     "shrink_scenario",
+    "skew_lease_heartbeat",
+    "tear_result_file",
 ]

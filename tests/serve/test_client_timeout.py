@@ -1,0 +1,131 @@
+"""ServeClient per-request timeout (satellite 2).
+
+A hung shard must not block the pipelined loop forever: a request that
+misses its deadline surfaces ``ServeError`` with code ``TIMEOUT`` while
+the connection — and every other in-flight request — stays healthy.
+Scenarios run against a scriptable frame server (responds, stalls, or
+delays per op) driven by ``asyncio.run``, matching the suite's
+no-async-plugin convention.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import ServeClient
+from repro.serve.client import ServeError
+from repro.serve.protocol import ErrorCode, encode_frame, read_frame
+
+
+class ScriptedServer:
+    """Loopback frame server whose per-op behavior is scripted.
+
+    ``behavior[op]`` is ``"ok"`` (respond immediately), ``"stall"``
+    (never respond), or a float (respond after that many seconds) —
+    unknown ops respond immediately.
+    """
+
+    def __init__(self, behavior: dict):
+        self.behavior = behavior
+        self._server = None
+        self.port = None
+
+    async def __aenter__(self) -> "ScriptedServer":
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve(self, reader, writer) -> None:
+        tasks = []
+        try:
+            while True:
+                request = await read_frame(reader)
+                if request is None:
+                    break
+                tasks.append(asyncio.ensure_future(
+                    self._answer(request, writer)))
+        except (ConnectionError, Exception):
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+
+    async def _answer(self, request, writer) -> None:
+        what = self.behavior.get(request.get("op"), "ok")
+        if what == "stall":
+            return
+        if isinstance(what, (int, float)):
+            await asyncio.sleep(what)
+        writer.write(encode_frame(
+            {"id": request.get("id"), "ok": True, "op": request.get("op")}))
+        await writer.drain()
+
+
+class TestRequestTimeout:
+    def test_stalled_request_raises_timeout_code(self):
+        async def scenario():
+            async with ScriptedServer({"hang": "stall"}) as server:
+                async with ServeClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ServeError) as excinfo:
+                        await client.request("hang", timeout=0.2)
+                    assert excinfo.value.code == ErrorCode.TIMEOUT
+                    assert "0.2" in excinfo.value.detail
+
+        asyncio.run(scenario())
+
+    def test_connection_survives_a_timeout(self):
+        async def scenario():
+            async with ScriptedServer({"hang": "stall"}) as server:
+                async with ServeClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ServeError):
+                        await client.request("hang", timeout=0.1)
+                    # same connection, next request: perfectly healthy
+                    response = await client.request("ping", timeout=5.0)
+                    assert response["ok"]
+
+        asyncio.run(scenario())
+
+    def test_late_response_is_dropped_not_misdelivered(self):
+        async def scenario():
+            async with ScriptedServer({"slow": 0.3}) as server:
+                async with ServeClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ServeError) as excinfo:
+                        await client.request("slow", timeout=0.05)
+                    assert excinfo.value.code == ErrorCode.TIMEOUT
+                    # the straggler answer for the abandoned id arrives
+                    # mid-flight here; it must not satisfy this request
+                    response = await client.request("ping", timeout=5.0)
+                    assert response["op"] == "ping"
+                    await asyncio.sleep(0.4)      # straggler fully lands
+                    response = await client.request("ping", timeout=5.0)
+                    assert response["op"] == "ping"
+
+        asyncio.run(scenario())
+
+    def test_client_default_timeout_applies_to_every_request(self):
+        async def scenario():
+            async with ScriptedServer({"hang": "stall"}) as server:
+                async with ServeClient("127.0.0.1", server.port,
+                                       timeout=0.2) as client:
+                    with pytest.raises(ServeError) as excinfo:
+                        await client.request("hang")
+                    assert excinfo.value.code == ErrorCode.TIMEOUT
+
+        asyncio.run(scenario())
+
+    def test_explicit_none_overrides_client_default(self):
+        async def scenario():
+            async with ScriptedServer({"slow": 0.3}) as server:
+                async with ServeClient("127.0.0.1", server.port,
+                                       timeout=0.05) as client:
+                    # per-request None = wait forever, despite the default
+                    response = await client.request("slow", timeout=None)
+                    assert response["ok"]
+
+        asyncio.run(scenario())
