@@ -6,7 +6,16 @@ Commands:
   timing simulation and print normalized IPC plus the memory-system
   statistics (``--json`` emits one machine-readable object instead).
 * ``schemes [--json]`` — list the named configuration presets.
-* ``apps`` — list the SPEC CPU 2000-like workloads.
+* ``apps`` — list the SPEC CPU 2000-like workloads and the scenario
+  library (database/page-cache, GC, ML-inference patterns).
+* ``trace record --workload W --out T.rtrc [--refs N] [--seed S]`` /
+  ``trace replay T.rtrc [--scheme S] [--refs N]`` / ``trace info T.rtrc``
+  — record any generator workload into the compact mmap-able ``.rtrc``
+  container, replay a recording through the full simulator (bit-identical
+  to the live generator), or validate and describe a trace file.
+  Anywhere a workload is named (``simulate``, ``profile``, ``sweep``,
+  ``trace replay``), a recorded trace can stand in via ``trace:<path>``
+  or a plain ``*.rtrc`` path.
 * ``attack [--no-counter-auth]`` — stage the section-4.3 counter-replay
   attack and report detection.
 * ``fuzz [--campaigns N] [--seed S] [--recover POLICY] [--timeout SEC]
@@ -62,7 +71,7 @@ import sys
 
 from repro import api
 from repro.core import SecureMemorySystem, split_gcm_config
-from repro.workloads import SPEC_APPS
+from repro.workloads import SCENARIO_APPS, SPEC_APPS, workload_kind
 
 
 def _cmd_schemes(args) -> int:
@@ -82,7 +91,18 @@ def _cmd_schemes(args) -> int:
 
 def _cmd_apps(_args) -> int:
     print(" ".join(SPEC_APPS))
+    print("scenarios: " + " ".join(SCENARIO_APPS))
     return 0
+
+
+def _check_workload(name: str) -> str | None:
+    """None if ``name`` resolves (app, scenario, or trace file); else the
+    error message to print before exiting 2."""
+    try:
+        workload_kind(name)
+    except ValueError as exc:
+        return str(exc)
+    return None
 
 
 def _cmd_simulate(args) -> int:
@@ -91,6 +111,10 @@ def _cmd_simulate(args) -> int:
     except KeyError as exc:
         print(f"unknown scheme {args.scheme!r}; see `python -m repro "
               f"schemes` ({exc.args[0]})", file=sys.stderr)
+        return 2
+    error = _check_workload(args.app)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     result = api.run(config, args.app, refs=args.refs)
     if args.json:
@@ -131,13 +155,18 @@ def _cmd_attack(args) -> int:
 def _cmd_fuzz(args) -> int:
     from repro.testing import format_report
 
+    if args.workload is not None:
+        error = _check_workload(args.workload)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
     try:
         report = api.fuzz(
             campaigns=args.campaigns, seed=args.seed,
             presets=args.preset or None, weaken=args.weaken,
             num_ops=args.ops, shrink=not args.no_shrink,
             mac_bits=args.mac_bits, recover=args.recover,
-            timeout=args.timeout,
+            timeout=args.timeout, workload=args.workload,
         )
     except KeyError as exc:
         print(f"{exc.args[0]}; see `python -m repro schemes`",
@@ -174,6 +203,11 @@ def _cmd_sweep(args) -> int:
             print(f"{exc.args[0]}", file=sys.stderr)
             return 2
     apps = args.app or ["swim"]
+    for name in apps:
+        error = _check_workload(name)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
     cells = [SweepCell(scheme=scheme, app=app, refs=args.refs)
              for scheme in schemes for app in apps]
     for spec in args.inject or ():
@@ -251,6 +285,10 @@ def _cmd_profile(args) -> int:
     except KeyError as exc:
         print(f"unknown scheme {args.scheme!r}; see `python -m repro "
               f"schemes` ({exc.args[0]})", file=sys.stderr)
+        return 2
+    error = _check_workload(args.app)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     try:
         profiled = api.profile(
@@ -376,13 +414,18 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     from repro.serve import run_loadgen
 
+    if args.workload is not None:
+        error = _check_workload(args.workload)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
     try:
         result = run_loadgen(
             args.host, args.port, tenants=args.tenants,
             connections=args.connections, requests=args.requests,
             batch=args.batch, read_fraction=args.read_fraction,
             footprint_blocks=args.footprint_blocks, seed=args.seed,
-            recovery=args.recovery,
+            recovery=args.recovery, workload=args.workload,
         )
     except (ConnectionError, OSError) as exc:
         print(f"loadgen: cannot reach {args.host}:{args.port}: {exc}",
@@ -406,6 +449,84 @@ def _cmd_loadgen(args) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.workloads import (
+        TraceFileError,
+        read_header,
+        resolve_trace,
+        trace_fingerprint,
+        write_trace,
+    )
+
+    if args.trace_command == "record":
+        error = _check_workload(args.workload)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        trace = resolve_trace(args.workload, args.refs, seed=args.seed)
+        write_trace(args.out, trace)
+        summary = {
+            "out": args.out,
+            "workload": args.workload,
+            "records": len(trace),
+            "fingerprint": trace_fingerprint(args.out),
+        }
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(f"recorded {summary['records']} references of "
+                  f"{args.workload!r} to {args.out} "
+                  f"(fingerprint {summary['fingerprint']})")
+        return 0
+
+    if args.trace_command == "info":
+        try:
+            header = read_header(args.trace)
+        except (TraceFileError, OSError) as exc:
+            print(f"{exc}", file=sys.stderr)
+            return 2
+        info = {
+            "path": args.trace,
+            "version": header["version"],
+            "name": header["name"],
+            "records": header["records"],
+            "fingerprint": header["payload_sha256"][:12],
+            "payload_sha256": header["payload_sha256"],
+        }
+        if args.json:
+            print(json.dumps(info, indent=2))
+        else:
+            print(f"{args.trace}: version {info['version']}, "
+                  f"name {info['name']!r}, {info['records']} records, "
+                  f"fingerprint {info['fingerprint']}")
+        return 0
+
+    # replay: run the recording through the full simulator
+    try:
+        config = api.get_config(args.scheme)
+    except KeyError as exc:
+        print(f"unknown scheme {args.scheme!r}; see `python -m repro "
+              f"schemes` ({exc.args[0]})", file=sys.stderr)
+        return 2
+    try:
+        refs = args.refs
+        if refs is None:
+            refs = read_header(args.trace)["records"]
+        result = api.run(config, f"trace:{args.trace}", refs=refs)
+    except (TraceFileError, OSError, ValueError) as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"trace={args.trace} scheme={args.scheme} refs={result.refs}")
+    print(f"  normalized IPC      : {result.normalized_ipc:.3f}  "
+          f"(overhead {result.overhead:.1%})")
+    print(f"  L2 misses           : {result.l2_misses}")
+    print(f"  bus utilization     : {result.bus_utilization:.0%}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -418,7 +539,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="emit a machine-readable JSON object")
     sub.add_parser("apps", help="list workloads")
     sim = sub.add_parser("simulate", help="run one timing simulation")
-    sim.add_argument("--app", default="swim", choices=SPEC_APPS)
+    sim.add_argument("--app", default="swim",
+                     help="SPEC app, scenario name, or recorded trace "
+                          "(trace:<path> / *.rtrc); see `apps`")
     sim.add_argument("--scheme", default="split+gcm")
     sim.add_argument("--refs", type=int, default=60_000)
     sim.add_argument("--json", action="store_true",
@@ -452,14 +575,20 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument("--timeout", type=float, default=None, metavar="SEC",
                       help="wall-clock budget; stops between scenarios and "
                            "reports partial results (exit 3 if clean)")
+    fuzz.add_argument("--workload", default=None, metavar="NAME",
+                      help="shape campaign working sets after a named "
+                           "workload (SPEC app, scenario, or "
+                           "trace:<path>/*.rtrc) instead of stratified")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the machine-readable report")
     sweep = sub.add_parser(
         "sweep", help="supervised multi-experiment sweep (subprocesses)")
     sweep.add_argument("--scheme", action="append", metavar="NAME",
                        help="scheme preset (repeatable; default split+gcm)")
-    sweep.add_argument("--app", action="append", choices=SPEC_APPS,
-                       help="workload (repeatable; default swim)")
+    sweep.add_argument("--app", action="append",
+                       help="workload: SPEC app, scenario, or recorded "
+                            "trace (trace:<path> / *.rtrc; repeatable; "
+                            "default swim)")
     sweep.add_argument("--refs", type=int, default=20_000,
                        help="memory references per cell (default 20000)")
     sweep.add_argument("--timeout", type=float, default=None, metavar="SEC",
@@ -505,7 +634,9 @@ def main(argv: list[str] | None = None) -> int:
                             "(default 2000)")
     prof = sub.add_parser(
         "profile", help="traced simulation with per-miss cycle attribution")
-    prof.add_argument("--app", default="swim", choices=SPEC_APPS)
+    prof.add_argument("--app", default="swim",
+                      help="SPEC app, scenario name, or recorded trace "
+                           "(trace:<path> / *.rtrc); see `apps`")
     prof.add_argument("--scheme", default="split+gcm")
     prof.add_argument("--refs", type=int, default=60_000)
     prof.add_argument("--tolerance", type=float, default=0.01,
@@ -573,14 +704,45 @@ def main(argv: list[str] | None = None) -> int:
                       choices=("halt", "quarantine_page", "degrade"),
                       default=None,
                       help="recovery policy for the opened tenants")
+    load.add_argument("--workload", default=None, metavar="NAME",
+                      help="shape the address stream like a named workload "
+                           "(SPEC app, scenario, or trace:<path>/*.rtrc) "
+                           "instead of uniform-random")
     load.add_argument("--json", action="store_true",
                       help="emit one machine-readable JSON object")
+    trace = sub.add_parser(
+        "trace", help="record/replay/inspect compact .rtrc trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    t_rec = trace_sub.add_parser(
+        "record", help="record a generator workload into a trace file")
+    t_rec.add_argument("--workload", required=True, metavar="NAME",
+                       help="SPEC app or scenario name (see `apps`)")
+    t_rec.add_argument("--out", required=True, metavar="PATH.rtrc",
+                       help="trace file to write")
+    t_rec.add_argument("--refs", type=int, default=60_000,
+                       help="memory references to record (default 60000)")
+    t_rec.add_argument("--seed", type=int, default=1234,
+                       help="generator seed (default 1234)")
+    t_rec.add_argument("--json", action="store_true")
+    t_rep = trace_sub.add_parser(
+        "replay", help="replay a recording through the full simulator")
+    t_rep.add_argument("trace", metavar="PATH.rtrc")
+    t_rep.add_argument("--scheme", default="split+gcm")
+    t_rep.add_argument("--refs", type=int, default=None,
+                       help="replay only the first N references "
+                            "(default: the whole recording)")
+    t_rep.add_argument("--json", action="store_true")
+    t_info = trace_sub.add_parser(
+        "info", help="validate a trace file and print its header")
+    t_info.add_argument("trace", metavar="PATH.rtrc")
+    t_info.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
     return {"schemes": _cmd_schemes, "apps": _cmd_apps,
             "simulate": _cmd_simulate, "attack": _cmd_attack,
             "fuzz": _cmd_fuzz, "profile": _cmd_profile,
             "sweep": _cmd_sweep, "bench": _cmd_bench,
-            "serve": _cmd_serve, "loadgen": _cmd_loadgen}[args.command](args)
+            "serve": _cmd_serve, "loadgen": _cmd_loadgen,
+            "trace": _cmd_trace}[args.command](args)
 
 
 if __name__ == "__main__":

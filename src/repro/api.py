@@ -48,7 +48,11 @@ from repro.obs import (
     write_csv,
 )
 from repro.sim import LoopState, Processor, SimResult, simulate
-from repro.workloads import SPEC_APPS, spec_trace
+from repro.workloads import (
+    canonical_workload_id,
+    resolve_trace,
+    workload_kind,
+)
 
 __all__ = [
     "BenchResult",
@@ -227,8 +231,10 @@ class Experiment:
     """One secure-memory configuration bound to one workload.
 
     ``config`` is a :class:`SecureMemoryConfig` or a preset label;
-    ``workload`` is a SPEC-like app name (see ``repro.workloads.SPEC_APPS``)
-    or a prebuilt trace.  ``run()`` simulates the scheme and the baseline on
+    ``workload`` is a SPEC-like app name (see ``repro.workloads.SPEC_APPS``),
+    a scenario-library name (``repro.workloads.SCENARIO_APPS``), a recorded
+    trace file (``trace:<path>`` or any ``*.rtrc`` path), or a prebuilt
+    trace.  ``run()`` simulates the scheme and the baseline on
     the identical trace and returns an :class:`ExperimentResult`; the raw
     :class:`~repro.sim.SimResult` pair stays on ``.result`` /
     ``.baseline_result`` for deeper inspection.
@@ -240,11 +246,8 @@ class Experiment:
                  baseline: SimResult | None = None,
                  trace: Tracer | str | None = None):
         self.config = get_config(config) if isinstance(config, str) else config
-        if isinstance(workload, str) and workload not in SPEC_APPS:
-            raise ValueError(
-                f"unknown app {workload!r}; choose from "
-                f"{', '.join(SPEC_APPS)}"
-            )
+        if isinstance(workload, str):
+            workload_kind(workload)  # raises ValueError with suggestions
         self.workload = workload
         self.refs = refs
         self.warmup_refs = refs // 3 if warmup_refs is None else warmup_refs
@@ -263,7 +266,7 @@ class Experiment:
 
     def _trace(self):
         if isinstance(self.workload, str):
-            return spec_trace(self.workload, self.refs)
+            return resolve_trace(self.workload, self.refs)
         return self.workload
 
     def run(self, *, checkpoint_every: int | None = None,
@@ -335,8 +338,7 @@ class Experiment:
         reenc = memory.stats.reencryption
         return ExperimentResult(
             scheme=self.config.name,
-            app=(self.workload if isinstance(self.workload, str)
-                 else getattr(self.workload, "name", "custom-trace")),
+            app=self._app_name(),
             refs=self.refs,
             ipc=result.ipc,
             baseline_ipc=baseline.ipc,
@@ -366,8 +368,12 @@ class Experiment:
         )
 
     def _app_name(self) -> str:
-        return (self.workload if isinstance(self.workload, str)
-                else getattr(self.workload, "name", "custom-trace"))
+        # trace-file workloads canonicalize to "trace-<fingerprint>" so a
+        # checkpoint taken under one path resumes under another (and never
+        # resumes against a *different* recording at the same path)
+        if isinstance(self.workload, str):
+            return canonical_workload_id(self.workload)
+        return getattr(self.workload, "name", "custom-trace")
 
     def _checkpoint_meta(self, trace) -> dict:
         from repro.resilience.checkpoint import trace_digest

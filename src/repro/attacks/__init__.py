@@ -1,11 +1,14 @@
-"""Hardware-attack simulation: snooping, tampering, replay, counter replay."""
+"""Hardware-attack simulation: snooping, tampering, replay, relocation,
+counter replay, and cold-boot remanence."""
 
 from repro.attacks.base import AttackReport
+from repro.attacks.coldboot import cold_boot_attack
 from repro.attacks.counter_replay import (
     counter_replay_attack,
     evict_counter_block,
     evict_data_block,
 )
+from repro.attacks.relocate import relocate_attack
 from repro.attacks.replay import replay_attack
 from repro.attacks.snoop import (
     BusSnooper,
@@ -17,10 +20,12 @@ from repro.attacks.tamper import splice_attack, spoof_attack
 __all__ = [
     "AttackReport",
     "BusSnooper",
+    "cold_boot_attack",
     "counter_replay_attack",
     "evict_counter_block",
     "evict_data_block",
     "pad_reuse_probe",
+    "relocate_attack",
     "replay_attack",
     "snoop_secrecy_attack",
     "splice_attack",

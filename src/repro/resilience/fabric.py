@@ -186,10 +186,17 @@ class QueuePaths:
 
 
 def cell_id(index: int, cell: SweepCell) -> str:
-    """Stable, filesystem-safe identity of one manifest cell."""
+    """Stable, filesystem-safe identity of one manifest cell.
+
+    Uses :meth:`SweepCell.workload_id` rather than the raw ``app`` spec:
+    a recorded-trace cell is named by its content fingerprint, so a
+    resumed sweep dedupes against the same cell even when the trace file
+    is reached through a different path (and a *different* recording at
+    the same path can never steal a finished cell's result).
+    """
     slug = "-".join(
         "".join(ch if ch.isalnum() else "-" for ch in part)
-        for part in (cell.scheme, cell.app))
+        for part in (cell.scheme, cell.workload_id()))
     return f"{index:04d}-{slug}"
 
 

@@ -94,6 +94,26 @@ class SweepCell:
     def label(self) -> str:
         return f"{self.scheme}/{self.app}"
 
+    def workload_id(self) -> str:
+        """Path-independent identity of this cell's workload.
+
+        Generator-named cells (SPEC apps, scenario-library names) are
+        their own identity.  Recorded-trace cells resolve to
+        ``trace-<fingerprint>`` so the same recording reached through two
+        different paths (or a moved file) still names the *same* cell —
+        the property fabric resume/dedupe and chaos normalization key on.
+        An unreadable trace file falls back to the raw spec rather than
+        failing identity computation.
+        """
+        from repro.workloads import canonical_workload_id, is_trace_workload
+
+        if not is_trace_workload(self.app):
+            return self.app
+        try:
+            return canonical_workload_id(self.app)
+        except (OSError, ValueError):
+            return self.app
+
     def to_dict(self) -> dict:
         return {
             "scheme": self.scheme,

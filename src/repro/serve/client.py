@@ -242,6 +242,41 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+def _workload_plan(workload: str, *, needed: int, footprint: int,
+                   block_size: int, seed: int,
+                   connection_index: int) -> tuple[list[int], list[bool]]:
+    """Per-connection (addresses, write flags) shaped like ``workload``.
+
+    Workload addresses are folded into the tenant footprint block-wise
+    (``(addr // block) % footprint``), preserving the stream's reuse and
+    locality structure at the service's scale.  Generator workloads get a
+    per-connection seed; a recorded trace is shared, with each connection
+    replaying from its own rotated offset (cycling if the recording is
+    shorter than the run).
+    """
+    from repro.workloads import (
+        is_trace_workload,
+        load_trace,
+        resolve_trace,
+        trace_path_of,
+    )
+
+    if is_trace_workload(workload):
+        trace = load_trace(trace_path_of(workload))
+        start = (connection_index * needed) % len(trace)
+        indices = [(start + i) % len(trace) for i in range(needed)]
+        raw = [trace.addrs[i] for i in indices]
+        flags = [trace.writes[i] for i in indices]
+    else:
+        trace = resolve_trace(workload, needed,
+                              seed=seed + connection_index)
+        raw = trace.addrs
+        flags = list(trace.writes)
+    addresses = [(addr // block_size) % footprint * block_size
+                 for addr in raw]
+    return addresses, flags
+
+
 async def loadgen(host: str, port: int, *,
                   tenants: int = 2,
                   connections: int = 4,
@@ -251,13 +286,20 @@ async def loadgen(host: str, port: int, *,
                   footprint_blocks: int = 512,
                   seed: int = 1234,
                   max_busy_retries: int = 50,
-                  recovery: str | None = None) -> LoadgenResult:
+                  recovery: str | None = None,
+                  workload: str | None = None) -> LoadgenResult:
     """Drive a seeded mixed workload; returns latency/throughput stats.
 
     ``requests`` is per connection; each request names ``batch`` random
     block addresses inside a ``footprint_blocks``-block working set (per
     tenant).  The footprint is written once up front so reads always hit
     initialized, MAC-covered data.
+
+    ``workload`` (a SPEC app, scenario name, or recorded trace — anything
+    :func:`repro.workloads.resolve_trace` accepts) replaces the
+    uniform-random address stream with that workload's access pattern,
+    folded into the footprint; each request's read/write type then follows
+    the workload's write flags instead of ``read_fraction``.
     """
     opened: list[tuple[str, str]] = []       # (tenant, token)
     async with ServeClient(host, port) as admin:
@@ -287,12 +329,25 @@ async def loadgen(host: str, port: int, *,
     async def one_connection(connection_index: int) -> None:
         rng = random.Random(f"{seed}:{connection_index}")
         tenant, token = opened[connection_index % len(opened)]
+        plan = None
+        if workload is not None:
+            plan = _workload_plan(
+                workload, needed=requests * batch, footprint=footprint,
+                block_size=block_size, seed=seed,
+                connection_index=connection_index)
         async with ServeClient(host, port) as client:
-            for _ in range(requests):
-                addresses = [
-                    rng.randrange(footprint) * block_size
-                    for _ in range(batch)]
-                is_read = rng.random() < read_fraction
+            for request_index in range(requests):
+                if plan is None:
+                    addresses = [
+                        rng.randrange(footprint) * block_size
+                        for _ in range(batch)]
+                    is_read = rng.random() < read_fraction
+                else:
+                    base = request_index * batch
+                    addresses = plan[0][base:base + batch]
+                    # the request is a write iff the workload says the
+                    # batch's leading reference is a store
+                    is_read = not plan[1][base]
                 start = time.perf_counter()
                 for attempt in range(max_busy_retries + 1):
                     try:

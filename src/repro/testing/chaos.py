@@ -44,6 +44,25 @@ _VOLATILE_CELL_KEYS = ("elapsed", "attempts", "retried", "worker_id",
                        "resumed_from_checkpoint")
 
 
+def _canonical_app(app):
+    """Path-independent workload identity for a cell spec's ``app``.
+
+    Recorded-trace specs normalize to ``trace-<fingerprint>`` so two
+    sweeps over the same recording reached through different paths (a
+    moved queue dir, a relative vs. absolute invocation) still compare
+    equal.  Generator names pass through; an unreadable trace file keeps
+    its raw spec (comparison then falls back to path identity).
+    """
+    from repro.workloads import canonical_workload_id, is_trace_workload
+
+    if not isinstance(app, str) or not is_trace_workload(app):
+        return app
+    try:
+        return canonical_workload_id(app)
+    except (OSError, ValueError):
+        return app
+
+
 def normalize_report(report) -> str:
     """Canonical JSON of a sweep report, timing/attempt metadata removed.
 
@@ -52,7 +71,9 @@ def normalize_report(report) -> str:
     :func:`~repro.resilience.runner.load_sweep_report`).  Two reports
     normalize identically iff every cell reached the same terminal status
     with bit-identical simulation results — the chaos harness's
-    definition of "the fabric changed nothing".
+    definition of "the fabric changed nothing".  Cell workload specs are
+    canonicalized through :func:`_canonical_app` first, so trace-driven
+    cells compare by content fingerprint, not by file path.
     """
     payload = report if isinstance(report, dict) else report.to_dict()
     payload = json.loads(json.dumps(payload))       # deep copy, JSON-shaped
@@ -62,6 +83,9 @@ def normalize_report(report) -> str:
     for cell in payload.get("cells", ()):
         for key in _VOLATILE_CELL_KEYS:
             cell.pop(key, None)
+        spec = cell.get("cell")
+        if isinstance(spec, dict) and "app" in spec:
+            spec["app"] = _canonical_app(spec["app"])
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 

@@ -16,7 +16,13 @@ and mutate the stored image the way a bus attacker would:
   (stale-data replay; the device records every version ever written);
 * ``counter-rollback`` — the same rollback aimed at the counter region,
   the section-4.3 pitfall;
-* ``node-corrupt``   — corrupt a Merkle code block (MAC/tree tampering).
+* ``node-corrupt``   — corrupt a Merkle code block (MAC/tree tampering);
+* ``relocate``       — copy one block's ciphertext over another address
+  (Buhren-style relocation: one-way, unlike ``splice``'s swap — the
+  attack that only an address-bound MAC can catch);
+* ``cold-boot``      — seeded per-bit decay over the whole stored DRAM
+  image (Simmons, "Security Through Amnesia": set bits relax toward the
+  ground state with probability ``decay``).
 
 Faults never consult wall-clock or global randomness: every choice (target
 address, bit positions, replayed version) comes from the
@@ -53,6 +59,12 @@ class FaultKind(enum.Enum):
     #: return a bit-flipped view, but the stored image is never mutated —
     #: a re-read past the glitch sees good bytes (bus noise, not tampering)
     TRANSIENT_FLIP = "transient-flip"
+    #: copy one data block's ciphertext over another address (one-way
+    #: relocation; detected only by schemes whose MAC binds the address)
+    RELOCATE = "relocate"
+    #: whole-device snapshot decay: every stored set bit flips to the
+    #: ground state with probability ``FaultSpec.decay``
+    COLD_BOOT = "cold-boot"
 
 
 #: Region names understood by triggers and target selection.  ``data`` is
@@ -107,9 +119,10 @@ class FaultSpec:
     kind: FaultKind
     trigger: Trigger | None = None
     address: int | None = None
-    partner: int | None = None      # second address for SPLICE
+    partner: int | None = None      # second address for SPLICE / RELOCATE
     bits: int = 1
     duration: int = 1               # corrupted reads for TRANSIENT_FLIP
+    decay: float = 0.02             # per-bit decay probability (COLD_BOOT)
 
     def to_dict(self) -> dict:
         return {
@@ -119,6 +132,7 @@ class FaultSpec:
             "partner": self.partner,
             "bits": self.bits,
             "duration": self.duration,
+            "decay": self.decay,
         }
 
     @classmethod
@@ -131,6 +145,7 @@ class FaultSpec:
             partner=data.get("partner"),
             bits=data.get("bits", 1),
             duration=data.get("duration", 1),
+            decay=data.get("decay", 0.02),
         )
 
 
@@ -329,6 +344,10 @@ class AdversarialDRAM(MainMemory):
             return self._apply_replay(spec, "data")
         if kind is FaultKind.COUNTER_ROLLBACK:
             return self._apply_replay(spec, "counter")
+        if kind is FaultKind.RELOCATE:
+            return self._apply_relocate(spec)
+        if kind is FaultKind.COLD_BOOT:
+            return self._apply_cold_boot(spec)
         raise ValueError(f"unknown fault kind: {kind}")
 
     def _apply_flip(self, spec: FaultSpec, region: str) -> FaultEvent:
@@ -388,6 +407,81 @@ class AdversarialDRAM(MainMemory):
             spec=spec, address=address, partner=partner,
             access_index=self.accesses,
             detail=f"spliced ciphertexts of {address:#x} and {partner:#x}",
+        )
+
+    def _apply_relocate(self, spec: FaultSpec) -> FaultEvent:
+        """Copy ``partner``'s ciphertext over ``address`` (one-way).
+
+        Unlike :meth:`_apply_splice` the source block keeps its image:
+        this is the Buhren-style relocation a position-*independent*
+        encryption + address-blind MAC cannot distinguish from honest
+        data, because the relocated image is a perfectly valid ciphertext
+        — just of the wrong address.
+        """
+        address = self._pick_target(spec, "data")
+        if spec.partner is not None:
+            source = spec.partner
+        else:
+            source = self._pick_target(
+                FaultSpec(kind=spec.kind), "data", exclude=address)
+        if source == address:
+            raise FaultSkipped("relocate needs two distinct blocks")
+        image = self._blocks.get(source, bytes(self.block_size))
+        if image == self._blocks.get(address, bytes(self.block_size)):
+            raise FaultSkipped("relocate source equals target image")
+        self._blocks[address] = bytes(image)
+        return FaultEvent(
+            spec=spec, address=address, partner=source,
+            access_index=self.accesses,
+            detail=f"relocated ciphertext of {source:#x} onto {address:#x}",
+        )
+
+    def _apply_cold_boot(self, spec: FaultSpec) -> FaultEvent:
+        """Decay the whole stored image toward the ground state.
+
+        Every *set* bit of every stored block (data, counters, Merkle
+        code alike — power loss is indiscriminate) flips to 0 with
+        probability ``spec.decay``, drawn from the seeded RNG in sorted
+        address order so a campaign replays bit-for-bit.  At least one
+        bit is guaranteed to decay (the model is "the machine lost
+        power", never a silent no-op).
+        """
+        decay = min(max(spec.decay, 0.0), 1.0)
+        flipped_total = 0
+        first_set: tuple[int, int] | None = None   # (address, bit index)
+        touched: int | None = None
+        for address in sorted(self._blocks):
+            image = bytearray(self._blocks[address])
+            changed = False
+            for byte_index, byte in enumerate(image):
+                if not byte:
+                    continue
+                for bit in range(8):
+                    if not byte & (1 << bit):
+                        continue
+                    if first_set is None:
+                        first_set = (address, byte_index * 8 + bit)
+                    if self.rng.random() < decay:
+                        image[byte_index] &= ~(1 << bit) & 0xFF
+                        flipped_total += 1
+                        changed = True
+            if changed:
+                self._blocks[address] = bytes(image)
+                if touched is None:
+                    touched = address
+        if flipped_total == 0:
+            if first_set is None:
+                raise FaultSkipped("cold boot found no set bits to decay")
+            address, bit = first_set
+            image = bytearray(self._blocks[address])
+            image[bit // 8] &= ~(1 << (bit % 8)) & 0xFF
+            self._blocks[address] = bytes(image)
+            flipped_total, touched = 1, address
+        return FaultEvent(
+            spec=spec, address=touched if touched is not None else 0,
+            access_index=self.accesses,
+            detail=f"cold-boot decay flipped {flipped_total} stored bit(s) "
+                   f"toward ground state (p={decay})",
         )
 
     def _apply_replay(self, spec: FaultSpec, region: str) -> FaultEvent:

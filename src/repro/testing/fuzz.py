@@ -34,13 +34,17 @@ from repro.testing.oracle import (
 from repro.testing.schedule import Scenario, generate_scenario
 from repro.testing.shrink import shrink_scenario
 
-#: Deterministic fault-kind rotation across campaign indices.
+#: Deterministic fault-kind rotation across campaign indices.  New kinds
+#: are appended, never inserted: short CI runs pin their covered kinds by
+#: campaign index, so reordering would silently change what they test.
 FAULT_ROTATION = (
     FaultKind.BIT_FLIP,
     FaultKind.REPLAY,
     FaultKind.SPLICE,
     FaultKind.COUNTER_ROLLBACK,
     FaultKind.NODE_CORRUPT,
+    FaultKind.RELOCATE,
+    FaultKind.COLD_BOOT,
 )
 
 #: Rotation used when recovery is enabled: transient glitches (which the
@@ -57,6 +61,10 @@ FAULT_ROTATION_RECOVERY = (
     FaultKind.COUNTER_ROLLBACK,
     FaultKind.TRANSIENT_FLIP,
     FaultKind.NODE_CORRUPT,
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.RELOCATE,
+    FaultKind.TRANSIENT_FLIP,
+    FaultKind.COLD_BOOT,
 )
 
 #: Outcomes that make a fuzz run fail.
@@ -72,6 +80,7 @@ class FuzzReport(ResultBase):
     presets: list[str]
     weaken: str | None
     recover: str | None = None
+    workload: str | None = None
     injected: int = 0
     detected: int = 0
     recovered: int = 0
@@ -139,6 +148,7 @@ class FuzzReport(ResultBase):
             "presets": self.presets,
             "weaken": self.weaken,
             "recover": self.recover,
+            "workload": self.workload,
             "scenarios_run": self.scenarios_run,
             "timed_out": self.timed_out,
             "faults": {
@@ -170,7 +180,8 @@ def run_fuzz(campaigns: int = 20, seed: int = 0, *,
              presets: list[str] | None = None, weaken: str | None = None,
              num_ops: int = 28, shrink: bool = True,
              mac_bits: int | None = None, recover: str | None = None,
-             timeout: float | None = None) -> FuzzReport:
+             timeout: float | None = None,
+             workload: str | None = None) -> FuzzReport:
     """Run seeded fault campaigns plus the kernel differential checks.
 
     ``presets`` defaults to every named preset.  ``weaken`` (e.g.
@@ -184,6 +195,13 @@ def run_fuzz(campaigns: int = 20, seed: int = 0, *,
     with the persistent kinds.  ``timeout`` is a wall-clock budget in
     seconds: when exceeded, the run stops before the next scenario and the
     report is marked ``timed_out`` (results so far stay valid).
+
+    ``workload`` (a SPEC app, scenario-library name, or recorded trace —
+    anything :func:`repro.workloads.resolve_trace` accepts) shapes each
+    campaign's working set after that workload's address stream instead of
+    the default stratified pick, so fault campaigns run under realistic
+    locality.  The default ``None`` keeps every historical seed replaying
+    bit-for-bit.
     """
     if presets is None:
         presets = list(PRESETS)
@@ -193,7 +211,7 @@ def run_fuzz(campaigns: int = 20, seed: int = 0, *,
                 raise KeyError(f"unknown preset {name!r}")
     report = FuzzReport(seed=seed, campaigns=campaigns,
                         presets=list(presets), weaken=weaken,
-                        recover=recover)
+                        recover=recover, workload=workload)
     report.differential = [
         check.to_dict() for check in run_differential_checks(seed)
     ]
@@ -209,7 +227,7 @@ def run_fuzz(campaigns: int = 20, seed: int = 0, *,
             scenario = generate_scenario(
                 preset, schedule_seed, fault_kind=kind,
                 num_ops=num_ops, weaken=weaken, mac_bits=mac_bits,
-                recovery=recover,
+                recovery=recover, workload=workload,
             )
             result = run_scenario(scenario)
             report.record(result)

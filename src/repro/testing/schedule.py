@@ -87,6 +87,33 @@ def working_set(rng: random.Random, block_size: int = 64,
             for index in range(size)]
 
 
+def workload_working_set(workload: str, seed: int,
+                         block_size: int = 64,
+                         protected_bytes: int = PROTECTED_BYTES,
+                         size: int = 8, probe_refs: int = 256) -> list[int]:
+    """Working set drawn from a named workload's access stream.
+
+    Resolves ``probe_refs`` references of the workload (SPEC app,
+    scenario-library name, or recorded trace), folds each address into
+    the campaign's protected region block-wise, and keeps the first
+    ``size`` distinct blocks in first-touch order — so fault campaigns
+    hammer the blocks the *workload* actually reuses, with its locality
+    structure, instead of a stratified synthetic pick.
+    """
+    from repro.workloads import resolve_trace
+
+    trace = resolve_trace(workload, probe_refs, seed=seed)
+    num_blocks = protected_bytes // block_size
+    seen: dict[int, None] = {}
+    for addr in trace.addrs:
+        folded = (addr // block_size) % num_blocks * block_size
+        if folded not in seen:
+            seen[folded] = None
+            if len(seen) >= size:
+                break
+    return list(seen)
+
+
 def generate_ops(rng: random.Random, addresses: list[int],
                  num_ops: int = 32) -> tuple[Op, ...]:
     """Generate one seeded schedule over a working set."""
@@ -124,6 +151,13 @@ class Scenario:
     ``recovery`` names a :class:`~repro.core.config.RecoveryPolicy` value
     (``"halt"``/``"quarantine_page"``/``"degrade"``); when set, the system
     under test runs with integrity-violation recovery enabled.
+
+    ``workload`` records which named workload (if any) shaped the working
+    set, and ``workload_id`` its path-independent identity
+    (:func:`repro.workloads.canonical_workload_id` — for recorded traces
+    that is ``trace-<fingerprint>``, so a reproducer generated against a
+    trace file stays attributable even if the file moves).  Both default
+    to ``None`` so reproducers from older reports load unchanged.
     """
 
     preset: str
@@ -134,6 +168,8 @@ class Scenario:
     mac_bits: int | None = None
     weaken: str | None = None
     recovery: str | None = None
+    workload: str | None = None
+    workload_id: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -145,6 +181,8 @@ class Scenario:
             "mac_bits": self.mac_bits,
             "weaken": self.weaken,
             "recovery": self.recovery,
+            "workload": self.workload,
+            "workload_id": self.workload_id,
         }
 
     @classmethod
@@ -159,6 +197,8 @@ class Scenario:
             mac_bits=data.get("mac_bits"),
             weaken=data.get("weaken"),
             recovery=data.get("recovery"),
+            workload=data.get("workload"),
+            workload_id=data.get("workload_id"),
         )
 
     def with_ops(self, ops: tuple[Op, ...],
@@ -170,15 +210,32 @@ def generate_scenario(preset: str, seed: int, *,
                       fault_kind: FaultKind | None = None,
                       num_ops: int = 32, weaken: str | None = None,
                       mac_bits: int | None = None,
-                      recovery: str | None = None) -> Scenario:
+                      recovery: str | None = None,
+                      workload: str | None = None) -> Scenario:
     """Build one seeded scenario for a preset.
 
     The schedule depends only on ``seed`` (not on the preset), so the same
     seed replays an identical operation stream through every scheme — the
-    cross-preset half of the differential oracle.
+    cross-preset half of the differential oracle.  ``workload`` swaps the
+    stratified working set for one sampled from a named workload's access
+    stream (see :func:`workload_working_set`); the default keeps every
+    historical seed identical.
     """
     rng = random.Random(seed)
-    addresses = working_set(rng)
+    if workload is None:
+        addresses = working_set(rng)
+        workload_id = None
+    else:
+        from repro.workloads import canonical_workload_id
+
+        # rng still burns the same working_set draws so the op stream
+        # downstream of this point matches the workload-less schedule
+        stratified = working_set(rng)
+        addresses = workload_working_set(workload, seed)
+        if len(addresses) < 2:     # degenerate stream: keep faults targetable
+            addresses = (addresses + [a for a in stratified
+                                      if a not in addresses])[:len(stratified)]
+        workload_id = canonical_workload_id(workload)
     ops = generate_ops(rng, addresses, num_ops=num_ops)
     fault = None
     fault_at = None
@@ -189,6 +246,10 @@ def generate_scenario(preset: str, seed: int, *,
             # (persistent) seed still replays bit-for-bit.
             fault = FaultSpec(kind=fault_kind, bits=bits,
                               duration=rng.choice((1, 2, 3)))
+        elif fault_kind is FaultKind.COLD_BOOT:
+            # Same discipline: the decay draw happens only for this kind.
+            fault = FaultSpec(kind=fault_kind, bits=bits,
+                              decay=rng.choice((0.01, 0.02, 0.05)))
         else:
             fault = FaultSpec(kind=fault_kind, bits=bits)
         # Inject in the second half of the schedule so enough state has
@@ -197,4 +258,5 @@ def generate_scenario(preset: str, seed: int, *,
         fault_at = rng.randrange(low, num_ops) if num_ops > low else low
     return Scenario(preset=preset, seed=seed, ops=ops, fault=fault,
                     fault_at=fault_at, mac_bits=mac_bits, weaken=weaken,
-                    recovery=recovery)
+                    recovery=recovery, workload=workload,
+                    workload_id=workload_id)

@@ -1,6 +1,17 @@
 """SPEC CPU 2000-like synthetic workloads for the timing simulator."""
 
 from repro.workloads.generators import WorkloadProfile, generate_trace
+from repro.workloads.scenarios import (
+    SCENARIO_APPS,
+    SCENARIOS,
+    canonical_workload_id,
+    is_trace_workload,
+    resolve_trace,
+    scenario_trace,
+    trace_path_of,
+    workload_kind,
+    workload_names,
+)
 from repro.workloads.spec2k import (
     FAST_COUNTER_APPS,
     MEMORY_BOUND,
@@ -10,15 +21,42 @@ from repro.workloads.spec2k import (
     spec_trace,
 )
 from repro.workloads.trace import Trace
+from repro.workloads.tracefile import (
+    TraceFileError,
+    TraceWriter,
+    iter_records,
+    load_trace,
+    mmap_records,
+    read_header,
+    trace_fingerprint,
+    write_trace,
+)
 
 __all__ = [
     "FAST_COUNTER_APPS",
     "MEMORY_BOUND",
     "PROFILES",
+    "SCENARIO_APPS",
+    "SCENARIOS",
     "SPEC_APPS",
     "Trace",
+    "TraceFileError",
+    "TraceWriter",
     "WorkloadProfile",
+    "canonical_workload_id",
     "generate_trace",
+    "is_trace_workload",
+    "iter_records",
+    "load_trace",
+    "mmap_records",
     "profile_for",
+    "read_header",
+    "resolve_trace",
+    "scenario_trace",
     "spec_trace",
+    "trace_fingerprint",
+    "trace_path_of",
+    "workload_kind",
+    "workload_names",
+    "write_trace",
 ]

@@ -1,0 +1,78 @@
+"""Trace-driven sweep cells must be identified by content, not path.
+
+Before this fix, ``fabric.cell_id`` and ``chaos.normalize_report``
+assumed generator-named cells: a recorded-trace cell's identity was its
+file *path*, so moving the trace (or reaching it via a different spec)
+broke resume/dedupe, and two runs of the same recording normalized
+unequal.  These tests pin the fingerprint-based identity.
+"""
+
+import shutil
+
+from repro.resilience.fabric import cell_id
+from repro.resilience.runner import SweepCell
+from repro.testing.chaos import normalize_report
+from repro.workloads import resolve_trace, trace_fingerprint, write_trace
+
+
+def _record(tmp_path, name="mcf.rtrc"):
+    path = tmp_path / name
+    write_trace(path, resolve_trace("mcf", 500, seed=3))
+    return path
+
+
+def test_cell_id_uses_fingerprint_not_path(tmp_path):
+    a = _record(tmp_path, "a.rtrc")
+    b = tmp_path / "elsewhere"
+    b.mkdir()
+    moved = b / "renamed.rtrc"
+    shutil.copy(a, moved)
+
+    cell_a = SweepCell(scheme="split+gcm", app=f"trace:{a}", refs=500)
+    cell_b = SweepCell(scheme="split+gcm", app=str(moved), refs=500)
+    assert cell_a.workload_id() == cell_b.workload_id() \
+        == f"trace-{trace_fingerprint(a)}"
+    assert cell_id(3, cell_a) == cell_id(3, cell_b)
+    # distinct recordings at the same index must never collide
+    other = tmp_path / "other.rtrc"
+    write_trace(other, resolve_trace("gcc", 500, seed=3))
+    assert cell_id(3, SweepCell(scheme="split+gcm",
+                                app=str(other))) != cell_id(3, cell_a)
+
+
+def test_generator_cells_unchanged(tmp_path):
+    cell = SweepCell(scheme="split", app="swim")
+    assert cell.workload_id() == "swim"
+    assert cell_id(0, cell) == "0000-split-swim"
+
+
+def test_unreadable_trace_falls_back_to_raw_spec(tmp_path):
+    missing = tmp_path / "gone.rtrc"
+    cell = SweepCell(scheme="split", app=str(missing))
+    assert cell.workload_id() == str(missing)
+
+
+def test_normalize_report_canonicalizes_trace_cells(tmp_path):
+    a = _record(tmp_path, "a.rtrc")
+    twin = tmp_path / "twin.rtrc"
+    shutil.copy(a, twin)
+
+    def report(path):
+        return {
+            "schema": "repro-sweep/2",
+            "cells": [{
+                "cell": {"scheme": "split+gcm", "app": f"trace:{path}",
+                         "refs": 500, "warmup_refs": None, "inject": None},
+                "status": "ok",
+                "elapsed": 1.23,
+                "attempts": 1,
+                "result": {"app": f"trace-{trace_fingerprint(a)}",
+                           "cycles": 999},
+            }],
+        }
+
+    assert normalize_report(report(a)) == normalize_report(report(twin))
+    # but a different recording still normalizes differently
+    other = tmp_path / "other.rtrc"
+    write_trace(other, resolve_trace("gcc", 500, seed=3))
+    assert normalize_report(report(a)) != normalize_report(report(other))

@@ -1,0 +1,177 @@
+"""Device, oracle, and rotation coverage for the relocate/cold-boot kinds.
+
+Three layers:
+
+* the :class:`AdversarialDRAM` application semantics — relocation is a
+  one-way copy (source untouched), cold-boot decay is seeded, global,
+  asymmetric (set bits only), and never a silent no-op;
+* the oracle verdicts — both kinds are detected by every
+  integrity-promising preset and end silently on the rest;
+* the rotation/serialization contract — new kinds are appended (CI
+  campaign-index pins keep their meaning), ``FaultSpec.decay`` and the
+  scenario ``workload``/``workload_id`` fields survive the JSON
+  round-trip, and pre-existing reproducer dicts (without the new
+  fields) still load.
+"""
+
+import random
+
+import pytest
+
+from repro.testing import AdversarialDRAM, FaultKind, FaultSpec
+from repro.testing.fuzz import FAULT_ROTATION, FAULT_ROTATION_RECOVERY
+from repro.testing.oracle import FaultOutcome, run_scenario
+from repro.testing.schedule import Scenario, generate_scenario
+
+
+def _device(rng_seed=0, size=1 << 20):
+    device = AdversarialDRAM(size_bytes=size, block_size=64,
+                             latency_cycles=1,
+                             rng=random.Random(rng_seed))
+    device.set_layout(data_end=size // 2, code_base=3 * size // 4,
+                      total=size)
+    return device
+
+
+class TestRelocateDevice:
+    def test_one_way_copy_keeps_source(self):
+        device = _device()
+        device.write_block(0, b"\x11" * 64)
+        device.write_block(64, b"\x22" * 64)
+        event = device.fire_now(FaultSpec(
+            kind=FaultKind.RELOCATE, address=64, partner=0))
+        assert event is not None
+        assert device.peek(64) == b"\x11" * 64, "target takes source image"
+        assert device.peek(0) == b"\x11" * 64, "source keeps its image"
+        assert event.partner == 0
+
+    def test_identical_images_skip(self):
+        device = _device()
+        device.write_block(0, b"\x33" * 64)
+        device.write_block(64, b"\x33" * 64)
+        assert device.fire_now(FaultSpec(
+            kind=FaultKind.RELOCATE, address=64, partner=0)) is None
+        assert device.skipped
+
+    def test_degenerate_pair_skips(self):
+        device = _device()
+        device.write_block(0, b"\x11" * 64)
+        assert device.fire_now(FaultSpec(
+            kind=FaultKind.RELOCATE, address=0, partner=0)) is None
+
+
+class TestColdBootDevice:
+    def test_decay_is_global_asymmetric_and_seeded(self):
+        images = {0: b"\xFF" * 64, 64: b"\x0F" * 64, 256: b"\xF0" * 64}
+
+        def decayed(seed):
+            device = _device(rng_seed=seed)
+            for address, image in images.items():
+                device.write_block(address, image)
+            device.fire_now(FaultSpec(kind=FaultKind.COLD_BOOT, decay=0.1))
+            return {a: device.peek(a) for a in images}
+
+        a, b, c = decayed(1), decayed(1), decayed(2)
+        assert a == b, "same seed must replay bit-for-bit"
+        assert a != c, "different seed must decay differently"
+        for address, image in images.items():
+            # asymmetric: decay only ever clears bits, never sets them
+            for before, after in zip(images[address], a[address]):
+                assert after & ~before == 0
+
+    def test_zero_effective_decay_still_flips_one_bit(self):
+        device = _device()
+        device.write_block(0, b"\x01" + b"\x00" * 63)
+        event = device.fire_now(FaultSpec(
+            kind=FaultKind.COLD_BOOT, decay=1e-12))
+        assert event is not None
+        assert device.peek(0) == b"\x00" * 64
+
+    def test_all_zero_store_skips(self):
+        device = _device()
+        device.write_block(0, b"\x00" * 64)
+        assert device.fire_now(FaultSpec(
+            kind=FaultKind.COLD_BOOT, decay=0.5)) is None
+        assert device.skipped
+
+
+class TestOracleVerdicts:
+    @pytest.mark.parametrize("kind", (FaultKind.RELOCATE,
+                                      FaultKind.COLD_BOOT))
+    @pytest.mark.parametrize("preset,promises", (
+        ("split+gcm", True), ("secddr", True), ("scattered", True),
+        ("split", False), ("baseline", False),
+    ))
+    def test_detected_iff_integrity_promised(self, kind, preset, promises):
+        outcomes = set()
+        for seed in range(6):
+            scenario = generate_scenario(preset, 9000 + seed,
+                                         fault_kind=kind)
+            outcomes.add(run_scenario(scenario).outcome)
+        assert FaultOutcome.MISSED not in outcomes
+        assert FaultOutcome.SPURIOUS not in outcomes
+        if promises:
+            assert FaultOutcome.DETECTED in outcomes
+            assert FaultOutcome.UNPROTECTED not in outcomes
+        else:
+            assert FaultOutcome.DETECTED not in outcomes
+
+    def test_cold_boot_under_recovery_policy(self):
+        scenario = generate_scenario("split+gcm", 77,
+                                     fault_kind=FaultKind.COLD_BOOT,
+                                     recovery="halt")
+        result = run_scenario(scenario)
+        assert result.outcome in (FaultOutcome.DETECTED,
+                                  FaultOutcome.NOT_TRIGGERED)
+
+
+class TestRotationAndSerialization:
+    def test_new_kinds_appended_not_inserted(self):
+        """CI campaign-index pins rely on the historical prefix order."""
+        assert FAULT_ROTATION[:5] == (
+            FaultKind.BIT_FLIP, FaultKind.REPLAY, FaultKind.SPLICE,
+            FaultKind.COUNTER_ROLLBACK, FaultKind.NODE_CORRUPT)
+        assert FAULT_ROTATION[5:] == (FaultKind.RELOCATE,
+                                      FaultKind.COLD_BOOT)
+        assert FAULT_ROTATION_RECOVERY[-2:] == (FaultKind.TRANSIENT_FLIP,
+                                                FaultKind.COLD_BOOT)
+
+    def test_fault_spec_decay_roundtrip(self):
+        spec = FaultSpec(kind=FaultKind.COLD_BOOT, decay=0.05)
+        back = FaultSpec.from_dict(spec.to_dict())
+        assert back.decay == 0.05 and back.kind is FaultKind.COLD_BOOT
+
+    def test_fault_spec_legacy_dict_defaults_decay(self):
+        data = FaultSpec(kind=FaultKind.BIT_FLIP).to_dict()
+        del data["decay"]
+        assert FaultSpec.from_dict(data).decay == 0.02
+
+    def test_scenario_workload_fields_roundtrip(self):
+        scenario = generate_scenario(
+            "split+gcm", 11, fault_kind=FaultKind.RELOCATE,
+            workload="ml-weight-stream")
+        back = Scenario.from_dict(scenario.to_dict())
+        assert back == scenario
+        assert back.workload == "ml-weight-stream"
+        assert back.workload_id == "ml-weight-stream"
+
+    def test_scenario_legacy_dict_loads(self):
+        scenario = generate_scenario("split", 12,
+                                     fault_kind=FaultKind.BIT_FLIP)
+        data = scenario.to_dict()
+        del data["workload"], data["workload_id"]
+        back = Scenario.from_dict(data)
+        assert back.workload is None and back.workload_id is None
+        assert back.ops == scenario.ops
+
+    def test_workload_does_not_change_op_stream_shape(self):
+        """Burned draws keep the op mix aligned with the legacy schedule."""
+        legacy = generate_scenario("split+gcm", 13,
+                                   fault_kind=FaultKind.SPLICE)
+        shaped = generate_scenario("split+gcm", 13,
+                                   fault_kind=FaultKind.SPLICE,
+                                   workload="db-page-cache")
+        assert [op.kind for op in legacy.ops] == \
+            [op.kind for op in shaped.ops]
+        assert legacy.fault_at == shaped.fault_at
+        assert legacy.fault == shaped.fault

@@ -1,0 +1,92 @@
+"""Scenario library: registration, determinism, and working-set claims.
+
+The scenario library's whole point is workloads whose working sets dwarf
+the paper's 1 MB L2 — these tests pin that property (footprint ≫ L2),
+the seeding discipline (same seed → bit-identical trace, different seed
+→ different trace), and that every scenario is a first-class workload
+name everywhere a SPEC app is (resolver, Experiment, fuzz shaping).
+"""
+
+import pytest
+
+from repro.api import Experiment
+from repro.workloads import (
+    SCENARIO_APPS,
+    SCENARIOS,
+    SPEC_APPS,
+    resolve_trace,
+    scenario_trace,
+    workload_kind,
+    workload_names,
+)
+
+L2_BYTES = 1024 * 1024
+BLOCK = 64
+
+
+def test_registry_contents():
+    assert set(SCENARIO_APPS) == {"db-page-cache", "gc-mark-sweep",
+                                  "ml-weight-stream"}
+    assert SCENARIO_APPS == tuple(sorted(SCENARIOS))
+    assert not set(SCENARIO_APPS) & set(SPEC_APPS)
+    for name in SCENARIO_APPS:
+        assert name in workload_names()
+        assert workload_kind(name) == "scenario"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_deterministic_replay(name):
+    a = scenario_trace(name, num_refs=4000, seed=5)
+    b = scenario_trace(name, num_refs=4000, seed=5)
+    c = scenario_trace(name, num_refs=4000, seed=6)
+    assert (a.gaps, a.writes, a.addrs) == (b.gaps, b.writes, b.addrs)
+    assert a.addrs != c.addrs
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_prefix_property(name):
+    """Shorter runs are exact prefixes — required for trace slicing."""
+    short = scenario_trace(name, num_refs=1500, seed=5)
+    long = scenario_trace(name, num_refs=3000, seed=5)
+    assert long.addrs[:1500] == short.addrs
+    assert long.gaps[:1500] == short.gaps
+    assert long.writes[:1500] == short.writes
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_working_set_exceeds_l2(name):
+    """Each scenario touches well more than the 1 MB L2 within 60k refs."""
+    trace = scenario_trace(name, num_refs=60_000, seed=1234)
+    footprint = trace.footprint_blocks(BLOCK) * BLOCK
+    assert footprint > 2 * L2_BYTES, (
+        f"{name}: footprint {footprint} bytes does not dwarf the L2")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_resolver_and_experiment(name):
+    trace = resolve_trace(name, 2000, seed=9)
+    assert len(trace.addrs) == 2000
+    assert trace.name == name
+    result = Experiment("split+gcm", name, refs=2000).run()
+    assert result.app == name
+    assert result.cycles > 0
+
+
+def test_unknown_workload_suggests(tmp_path):
+    with pytest.raises(ValueError, match="db-page-cache"):
+        workload_kind("db-page-cach")
+    with pytest.raises(ValueError):
+        Experiment("split+gcm", "no-such-workload")
+
+
+def test_scenario_shapes_fuzz_working_set():
+    """Scenario names feed the fuzz campaign's working-set sampler."""
+    from repro.testing.schedule import generate_scenario
+
+    shaped = generate_scenario("split+gcm", 42, workload="gc-mark-sweep")
+    default = generate_scenario("split+gcm", 42)
+    assert shaped.workload == "gc-mark-sweep"
+    assert shaped.workload_id == "gc-mark-sweep"
+    assert default.workload is None
+    addresses = {op.address for op in shaped.ops if op.kind != "flush"}
+    assert len(addresses) > 1
